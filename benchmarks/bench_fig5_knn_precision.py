@@ -1,0 +1,54 @@
+"""Figure 5 — k-NN precision under down-sampling and distortion.
+
+Paper shape (six panels, k = 20/30/40): precision decreases as r1/r2
+grow; EDR and LCSS sit lowest, EDwP clearly above them, t2vec on top;
+distortion hurts less than down-sampling.
+"""
+
+from repro.baselines import EDR, LCSS, EDwP
+from repro.eval import experiment_knn_precision, format_table, line_chart
+
+from .conftest import FAST, run_once, write_result
+
+KS = [20, 30, 40] if not FAST else [10]
+RATES = [0.2, 0.4, 0.6] if not FAST else [0.4]
+NUM_QUERIES = 25 if not FAST else 8
+DB_SIZE = 300 if not FAST else 60
+
+
+def test_fig5_knn_precision(benchmark, porto_bench):
+    queries = porto_bench.queries_pool[:NUM_QUERIES]
+    database = porto_bench.filler_pool[:DB_SIZE]
+    measures = [porto_bench.model, EDwP(), EDR(100.0), LCSS(100.0)]
+
+    def run():
+        dropping = experiment_knn_precision(
+            measures, queries, database, ks=KS, rates=RATES,
+            mode="dropping", seed=5)
+        distorting = experiment_knn_precision(
+            measures, queries, database, ks=KS, rates=RATES,
+            mode="distorting", seed=5)
+        return dropping, distorting
+
+    dropping, distorting = run_once(benchmark, run)
+
+    sections = []
+    for mode, results in (("dropping r1", dropping), ("distorting r2", distorting)):
+        for k in KS:
+            sections.append(format_table(
+                f"Figure 5: k-NN precision vs {mode} (k={k})",
+                "rate", RATES, results[k], precision=3))
+            if len(RATES) > 1:
+                sections.append(line_chart(
+                    f"Figure 5 (chart): precision vs {mode} (k={k})",
+                    RATES, results[k], height=12, y_label="precision"))
+    write_result("fig5_knn_precision", "\n\n".join(sections))
+
+    # Shape: precision within [0, 1]; down-sampling hurts more than
+    # distortion at the highest rate for the point-matching methods.
+    for results in (dropping, distorting):
+        for k in KS:
+            for name, precisions in results[k].items():
+                assert all(0.0 <= p <= 1.0 for p in precisions), name
+    k = KS[0]
+    assert dropping[k]["EDR"][-1] <= distorting[k]["EDR"][-1] + 0.15

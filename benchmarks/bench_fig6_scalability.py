@@ -1,0 +1,81 @@
+"""Figure 6 — k-NN query time versus database size.
+
+Paper shape: t2vec answers k-NN queries at least one order of magnitude
+faster than EDR and EDwP at every database size, and its query time
+grows linearly (vector scan) while the DP methods pay O(n^2) per pair.
+This bench also exercises the LSH extension (paper §VI future work 3).
+"""
+
+import numpy as np
+
+from repro.baselines import EDR, EDwP
+from repro.core import ExactIndex, LSHIndex
+from repro.eval import experiment_scalability, format_table, line_chart
+
+from .conftest import FAST, run_once, write_result
+
+DB_SIZES = [200, 400, 800] if not FAST else [50, 100]
+NUM_QUERIES = 10 if not FAST else 4
+K = 50 if not FAST else 10
+
+
+def test_fig6_knn_query_time(benchmark, porto_bench):
+    queries = porto_bench.queries_pool[:NUM_QUERIES]
+    database = porto_bench.filler_pool + porto_bench.train  # big pool
+    measures = [porto_bench.model, EDwP(), EDR(100.0)]
+
+    def run():
+        return experiment_scalability(measures, queries, database,
+                                      db_sizes=DB_SIZES, k=K)
+
+    results = run_once(benchmark, run)
+    ms = {name: [t * 1000 for t in times] for name, times in results.items()}
+    text = format_table(
+        "Figure 6: mean k-NN query time (ms) vs database size",
+        "DB size", DB_SIZES, ms, precision=2)
+    if len(DB_SIZES) > 1:
+        text += "\n\n" + line_chart(
+            "Figure 6 (chart): query time vs DB size",
+            DB_SIZES, ms, logy=True, height=12, y_label="ms")
+    write_result("fig6_scalability", text)
+
+    # Headline claim: with offline encoding, t2vec's online query is at
+    # least 10x faster than both DP baselines at the largest size.
+    t2vec_time = results["t2vec"][-1]
+    assert results["EDR"][-1] > 10 * t2vec_time
+    assert results["EDwP"][-1] > 10 * t2vec_time
+
+
+def test_fig6_lsh_speedup(benchmark, porto_bench):
+    """LSH index beats the exact vector scan once the index is large."""
+    rng = np.random.default_rng(0)
+    # Synthetic vector database stands in for millions of encoded trips.
+    n = 20000 if not FAST else 2000
+    dim = porto_bench.model.config.hidden_size
+    vectors = rng.standard_normal((n, dim))
+    exact = ExactIndex(vectors)
+    lsh = LSHIndex(vectors, num_tables=8, num_bits=14, seed=0)
+    query = vectors[123] + 0.01
+
+    def lsh_query():
+        return lsh.knn(query, k=10)
+
+    idx, _ = run_once(benchmark, lsh_query)
+    assert len(idx) == 10
+
+    import time
+    start = time.perf_counter()
+    for _ in range(20):
+        exact.knn(query, k=10)
+    exact_time = (time.perf_counter() - start) / 20
+    start = time.perf_counter()
+    for _ in range(20):
+        lsh.knn(query, k=10)
+    lsh_time = (time.perf_counter() - start) / 20
+    candidates = len(lsh.candidates(query))
+    text = (f"LSH extension on {n} vectors (dim {dim}):\n"
+            f"exact scan  {exact_time * 1e3:.3f} ms/query\n"
+            f"lsh         {lsh_time * 1e3:.3f} ms/query "
+            f"({candidates} candidates visited)")
+    write_result("fig6_lsh_extension", text)
+    assert candidates < n  # visits a strict subset

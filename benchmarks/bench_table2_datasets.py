@@ -1,0 +1,43 @@
+"""Table II — dataset statistics (#points, #trips, mean length).
+
+Paper (real data):        Porto 74.3M points / 1.23M trips / mean 60,
+                          Harbin 184.8M points / 1.53M trips / mean 121.
+Here (synthetic, ~100x scaled down): the same three statistics for the
+two synthetic cities, plus the trip-generation throughput as the timed
+benchmark.
+"""
+
+import numpy as np
+
+from repro.data import dataset_statistics, porto_like
+
+from .conftest import run_once, write_result
+
+
+def test_table2_dataset_statistics(benchmark, porto_bench, harbin_bench):
+    rows = []
+    for bench in (porto_bench, harbin_bench):
+        trips = bench.train + bench.extra
+        stats = dataset_statistics(trips)
+        rows.append((bench.name, stats))
+
+    lines = ["Table II: dataset statistics (synthetic stand-ins)",
+             f"{'Dataset':<10}  {'#Points':>9}  {'#Trips':>7}  {'Mean length':>11}"]
+    lines.append("-" * len(lines[-1]))
+    for name, stats in rows:
+        lines.append(f"{name:<10}  {stats['num_points']:>9}  "
+                     f"{stats['num_trips']:>7}  {stats['mean_length']:>11.1f}")
+    write_result("table2_datasets", "\n".join(lines))
+
+    # Timed section: trip synthesis throughput (the data substrate itself).
+    city = porto_like(seed=99)
+
+    def generate():
+        return city.generate(50, rng=np.random.default_rng(0))
+
+    trips = run_once(benchmark, generate)
+    assert len(trips) == 50
+    # Sanity on the statistics shape (mirrors the paper: Harbin trips longer).
+    porto_stats = dataset_statistics(porto_bench.train)
+    harbin_stats = dataset_statistics(harbin_bench.train)
+    assert harbin_stats["mean_length"] > porto_stats["mean_length"]

@@ -1,0 +1,44 @@
+"""Table III — mean rank versus database size (Experiment 1, both cities).
+
+Paper shape @100k DB (Porto): t2vec 7.67 < EDwP 28.90 < EDR 130.98 <
+LCSS 150.67 < vRNN 163.10 < CMS 291.26; all methods degrade as the
+database grows.  Here the database sizes are scaled ~100x down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CMS, EDR, LCSS, EDwP
+from repro.eval import experiment_db_size, format_table
+
+from .conftest import FAST, run_once, write_result
+
+DB_SIZES = [100, 200, 400, 800] if not FAST else [50, 100]
+NUM_QUERIES = 40 if not FAST else 10
+
+
+@pytest.mark.parametrize("city_fixture", ["porto_bench", "harbin_bench"])
+def test_table3_mean_rank_vs_db_size(benchmark, request, city_fixture):
+    bench = request.getfixturevalue(city_fixture)
+    measures = [bench.model, EDwP(), EDR(100.0), LCSS(100.0),
+                bench.vrnn, CMS(bench.vocab)]
+
+    def run():
+        return experiment_db_size(
+            measures, bench.queries_pool, bench.filler_pool,
+            num_queries=NUM_QUERIES, db_sizes=DB_SIZES, seed=7)
+
+    results = run_once(benchmark, run)
+    write_result(f"table3_dbsize_{bench.name}", format_table(
+        f"Table III ({bench.name}): mean rank vs database size",
+        "DB size", DB_SIZES, results))
+
+    # Shape assertions (paper): ranks grow with DB size, and a weak
+    # baseline (order-blind CMS, or the undertrained-LM vRNN) is the
+    # worst method at the largest size; CMS never beats EDwP.
+    for name, ranks in results.items():
+        assert ranks[-1] >= ranks[0] - 1.0, name
+    largest = {name: ranks[-1] for name, ranks in results.items()}
+    worst = max(largest, key=largest.get)
+    assert worst in ("CMS", "vRNN"), worst
+    assert largest["CMS"] > largest["EDwP"]

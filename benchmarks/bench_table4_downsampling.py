@@ -1,0 +1,42 @@
+"""Table IV — mean rank versus down-sampling rate r1 (Experiment 2).
+
+Paper shape (Porto, 100k DB): EDR degrades fastest (160 -> 341); LCSS
+and vRNN are flat-ish but high; EDwP holds until r1=0.6 then jumps;
+t2vec stays lowest throughout (7.88 -> 15.99).
+"""
+
+import pytest
+
+from repro.baselines import CMS, EDR, LCSS, EDwP
+from repro.eval import experiment_downsampling, format_table
+
+from .conftest import FAST, run_once, write_result
+
+RATES = [0.2, 0.3, 0.4, 0.5, 0.6] if not FAST else [0.2, 0.6]
+NUM_QUERIES = 40 if not FAST else 10
+FILLERS = 400 if not FAST else 80
+
+
+@pytest.mark.parametrize("city_fixture", ["porto_bench", "harbin_bench"])
+def test_table4_mean_rank_vs_dropping_rate(benchmark, request, city_fixture):
+    bench = request.getfixturevalue(city_fixture)
+    measures = [bench.model, EDwP(), EDR(100.0), LCSS(100.0),
+                bench.vrnn, CMS(bench.vocab)]
+
+    def run():
+        return experiment_downsampling(
+            measures, bench.queries_pool, bench.filler_pool[:FILLERS],
+            num_queries=NUM_QUERIES, dropping_rates=RATES, seed=7)
+
+    results = run_once(benchmark, run)
+    write_result(f"table4_downsampling_{bench.name}", format_table(
+        f"Table IV ({bench.name}): mean rank vs dropping rate r1",
+        "r1", RATES, results))
+
+    # Shape: a weak baseline (CMS or vRNN) is worst on average, and no
+    # method improves substantially under heavier down-sampling.
+    means = {name: sum(r) / len(r) for name, r in results.items()}
+    worst = max(means, key=means.get)
+    assert worst in ("CMS", "vRNN"), worst
+    for name, ranks in results.items():
+        assert ranks[-1] >= ranks[0] - 0.35 * max(ranks[0], 10.0), name

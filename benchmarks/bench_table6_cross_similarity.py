@@ -1,0 +1,43 @@
+"""Table VI — mean cross-distance deviation vs r1 and r2.
+
+Paper shape: t2vec has the smallest deviation at (almost) every rate;
+EDR's deviation explodes with r1 (0.13 -> 0.58) because dropped points
+directly change the edit cost; all three methods stay low under
+distortion.
+"""
+
+from repro.baselines import EDR, EDwP
+from repro.eval import experiment_cross_similarity, format_table
+
+from .conftest import FAST, run_once, write_result
+
+RATES = [0.1, 0.2, 0.4, 0.6]
+NUM_PAIRS = 60 if not FAST else 15
+
+
+def test_table6_cross_distance_deviation(benchmark, porto_bench):
+    trajectories = porto_bench.queries_pool + porto_bench.filler_pool[:200]
+    measures = [porto_bench.model, EDwP(), EDR(100.0)]
+
+    def run():
+        dropping = experiment_cross_similarity(
+            measures, trajectories, NUM_PAIRS, RATES, mode="dropping", seed=3)
+        distorting = experiment_cross_similarity(
+            measures, trajectories, NUM_PAIRS, RATES, mode="distorting", seed=3)
+        return dropping, distorting
+
+    dropping, distorting = run_once(benchmark, run)
+    text = format_table(
+        "Table VI (top): mean cross-distance deviation vs dropping rate r1",
+        "r1", RATES, dropping, precision=3)
+    text += "\n\n" + format_table(
+        "Table VI (bottom): mean cross-distance deviation vs distorting rate r2",
+        "r2", RATES, distorting, precision=3)
+    write_result("table6_cross_similarity", text)
+
+    # Shape: EDR's dropping deviation grows sharply with r1 and ends worst.
+    assert dropping["EDR"][-1] > 2.0 * dropping["EDR"][0]
+    assert dropping["EDR"][-1] == max(d[-1] for d in dropping.values())
+    # Distortion deviations stay moderate for every method (paper: < 0.05).
+    for name, devs in distorting.items():
+        assert max(devs) < 1.0, name

@@ -1,0 +1,63 @@
+"""Table VIII — effect of the cell size (spatial resolution).
+
+Paper shape (cell sizes 25/50/100/150 m): the finest grid (25 m) is by
+far the worst — the vocabulary explodes and the model is much harder to
+train — while 100 m gives the best mean rank and 150 m is about equal.
+Training time falls monotonically as cells grow.
+"""
+
+import numpy as np
+
+from repro.eval import build_setup, format_table, mean_rank
+
+from .conftest import FAST, bench_config, fit_cached, run_once, write_result
+
+CELL_SIZES = [25.0, 50.0, 100.0, 150.0] if not FAST else [50.0, 150.0]
+TRIPS = 200 if not FAST else 60
+EPOCHS = 6 if not FAST else 2
+HIDDEN = 48 if not FAST else 24
+NUM_QUERIES = 30 if not FAST else 8
+FILLERS = 250 if not FAST else 50
+RATES = [0.5, 0.6]
+
+
+def test_table8_cell_size(benchmark, porto_bench):
+    train = porto_bench.train[:TRIPS]
+    rows = {}
+    vocab_sizes = {}
+    times = {}
+
+    def run():
+        for cell in CELL_SIZES:
+            tag = f"ablate_cell_{int(cell)}"
+            model = fit_cached(tag, bench_config(
+                hidden=HIDDEN, epochs=EPOCHS, cell_size=cell), train)
+            vocab_sizes[cell] = model.vocab.num_hot_cells
+            times[cell] = (model.last_result.wall_time_s
+                           if model.last_result else float("nan"))
+            ranks = []
+            for r1 in RATES:
+                setup = build_setup(porto_bench.queries_pool,
+                                    porto_bench.filler_pool[:FILLERS],
+                                    NUM_QUERIES, dropping_rate=r1,
+                                    rng=np.random.default_rng(13))
+                ranks.append(mean_rank(model, setup))
+            rows[f"{int(cell)}m"] = ranks
+        return rows
+
+    results = run_once(benchmark, run)
+    text = format_table(
+        "Table VIII: mean rank per cell size (rows) at r1=0.5/0.6",
+        "r1", RATES, results)
+    text += "\n\n#hot cells: " + "  ".join(
+        f"{int(c)}m={v}" for c, v in vocab_sizes.items())
+    timed = {c: t for c, t in times.items() if np.isfinite(t)}
+    if timed:
+        text += "\ntraining time (s): " + "  ".join(
+            f"{int(c)}m={t:.0f}" for c, t in timed.items())
+    write_result("table8_cell_size", text)
+
+    # Shape: finer cells mean (weakly) more hot cells — higher model
+    # complexity, the paper's explanation for the 25 m degradation.
+    cells = sorted(vocab_sizes)
+    assert vocab_sizes[cells[0]] >= vocab_sizes[cells[-1]]

@@ -1,0 +1,121 @@
+"""Shared benchmark fixtures: datasets, trained models, and caching.
+
+Every bench regenerates one of the paper's tables or figures.  Training a
+t2vec model on CPU takes minutes, so fitted models are cached on disk
+under ``benchmarks/_cache/`` and reused across bench files and runs;
+delete that directory to retrain from scratch.
+
+Scales are ~100x smaller than the paper's (DESIGN.md §4): the paper used
+0.8M training trips and 100k-entry databases on a Tesla K40; we use
+hundreds-to-thousands of trips so the whole suite runs on a laptop CPU.
+Set ``REPRO_BENCH_FAST=1`` to shrink everything further for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import LossSpec, T2Vec, T2VecConfig, TrainingConfig
+from repro.data import harbin_like, porto_like
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+#: Scale profile: (train trips, test trips, epochs, hidden size)
+PROFILE = {
+    False: dict(train_trips=600, extra_trips=900, epochs=12, hidden=64),
+    True: dict(train_trips=150, extra_trips=300, epochs=4, hidden=32),
+}[FAST]
+
+
+def bench_config(hidden: int = None, epochs: int = None, **overrides) -> T2VecConfig:
+    """The benchmark-default t2vec configuration (L3 + cell pretraining)."""
+    hidden = hidden or PROFILE["hidden"]
+    epochs = epochs or PROFILE["epochs"]
+    defaults = dict(
+        cell_size=100.0, min_hits=5,
+        embedding_size=hidden, hidden_size=hidden, num_layers=1, dropout=0.0,
+        loss=LossSpec(kind="L3", k_nearest=10, theta=100.0, noise=64),
+        training=TrainingConfig(batch_size=256, max_epochs=epochs,
+                                patience=5, eval_batches=6),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return T2VecConfig(**defaults)
+
+
+def fit_cached(tag: str, config: T2VecConfig, train_trips) -> T2Vec:
+    """Train a model or load it from the on-disk cache."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{tag}{'_fast' if FAST else ''}.npz"
+    if path.exists():
+        return T2Vec.load(path)
+    model = T2Vec(config)
+    model.fit(train_trips)
+    model.save(path)
+    return model
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+class CityBench:
+    """One city's data + trained models, shared across bench files."""
+
+    def __init__(self, name: str, city):
+        self.name = name
+        self.city = city
+        total = PROFILE["train_trips"] + PROFILE["extra_trips"]
+        trips = city.generate(total)
+        self.train = trips[:PROFILE["train_trips"]]
+        self.extra = trips[PROFILE["train_trips"]:]
+        # Paper protocol: queries come from held-out (test) data; the
+        # filler set P fills the database.
+        self.queries_pool = self.extra[:len(self.extra) // 3]
+        self.filler_pool = self.extra[len(self.extra) // 3:]
+        self.model = fit_cached(f"t2vec_{name}", bench_config(), self.train)
+        self.vrnn = self._fit_vrnn_cached()
+
+    def _fit_vrnn_cached(self):
+        """The vRNN baseline, trained once per city and cached like t2vec."""
+        from repro.baselines import VanillaRNNEmbedding
+        CACHE_DIR.mkdir(exist_ok=True)
+        path = CACHE_DIR / f"vrnn_{self.name}{'_fast' if FAST else ''}.npz"
+        hidden = PROFILE["hidden"]
+        if path.exists():
+            return VanillaRNNEmbedding.load(path, self.vocab)
+        vrnn = VanillaRNNEmbedding(self.vocab, embedding_size=hidden,
+                                   hidden_size=hidden, num_layers=1, seed=0)
+        vrnn.fit(self.train, epochs=max(2, PROFILE["epochs"] // 3),
+                 batch_size=128)
+        vrnn.save(path)
+        return vrnn
+
+    @property
+    def vocab(self):
+        return self.model.vocab
+
+
+@pytest.fixture(scope="session")
+def porto_bench() -> CityBench:
+    return CityBench("porto", porto_like(seed=7))
+
+
+@pytest.fixture(scope="session")
+def harbin_bench() -> CityBench:
+    return CityBench("harbin", harbin_like(seed=17))
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

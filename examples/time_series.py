@@ -1,0 +1,77 @@
+"""Beyond trajectories: the same model on generic time series.
+
+The paper's future-work item 2 proposes "extending the proposed method to
+more general time series data beyond trajectories".  This example runs
+:class:`repro.core.Series2Vec` — the t2vec pipeline with quantile-bin
+tokens instead of grid cells — on three synthetic signal families and
+shows that (a) nearest neighbours in representation space stay within a
+family and (b) retrieval survives heavy down-sampling, exactly the
+robustness t2vec exhibits on trajectories.
+
+Run:  python examples/time_series.py
+"""
+
+import numpy as np
+
+from repro.core import (Series2Vec, Series2VecConfig, TrainingConfig,
+                        downsample_series)
+from repro.core.losses import LossSpec
+
+
+def make_series(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    t = np.linspace(0, 4 * np.pi, n)
+    phase = rng.uniform(0, 2 * np.pi)
+    noise = 0.05 * rng.standard_normal(n)
+    if kind == "sine":
+        return np.sin(t + phase) + noise
+    if kind == "ramp":
+        return np.linspace(-1, 1, n) + 0.1 * np.sin(3 * t + phase) + noise
+    return np.sign(np.sin(t + phase)) + noise  # square wave
+
+
+def main():
+    rng = np.random.default_rng(0)
+    kinds = ["sine", "ramp", "square"]
+    dataset = [(k, make_series(k, int(rng.integers(40, 70)), rng))
+               for k in kinds for _ in range(40)]
+    rng.shuffle(dataset)
+    train = [s for _, s in dataset[:100]]
+    heldout = dataset[100:]
+
+    print(f"training Series2Vec on {len(train)} series...")
+    model = Series2Vec(Series2VecConfig(
+        num_bins=32, embedding_size=24, hidden_size=24,
+        loss=LossSpec(k_nearest=8, noise=24),
+        training=TrainingConfig(batch_size=128, max_epochs=6, patience=4),
+        seed=0))
+    result = model.fit(train)
+    print(f"done: {result.epochs_run} epochs, "
+          f"final train loss {result.train_losses[-1]:.3f}\n")
+
+    labels = [k for k, _ in heldout]
+    series = [s for _, s in heldout]
+
+    print("1-NN family accuracy on held-out series:")
+    correct = 0
+    for i in range(len(series)):
+        others = series[:i] + series[i + 1:]
+        other_labels = labels[:i] + labels[i + 1:]
+        nearest = model.knn(series[i], others, k=1)[0]
+        correct += other_labels[nearest] == labels[i]
+    print(f"  clean queries:        {correct / len(series):.2f}")
+
+    correct = 0
+    for i in range(len(series)):
+        degraded = downsample_series(series[i], 0.6, rng)
+        others = series[:i] + series[i + 1:]
+        other_labels = labels[:i] + labels[i + 1:]
+        nearest = model.knn(degraded, others, k=1)[0]
+        correct += other_labels[nearest] == labels[i]
+    print(f"  60%-downsampled:      {correct / len(series):.2f}")
+    print("\nThe representation, trained only to reconstruct dense series "
+          "from degraded ones, transfers the paper's robustness to a "
+          "non-trajectory domain.")
+
+
+if __name__ == "__main__":
+    main()

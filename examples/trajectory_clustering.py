@@ -1,0 +1,66 @@
+"""Trajectory clustering on learned representations (paper §VI future work 1).
+
+The paper's conclusion proposes "employing the learned representations to
+explore more downstream tasks, e.g., trajectory clustering".  Because
+every synthetic trip carries its generating route id, we have clustering
+ground truth: k-means on t2vec vectors should group trips by route far
+better than k-means on a naive bag-of-cells representation.
+
+Run:  python examples/trajectory_clustering.py
+"""
+
+import numpy as np
+
+from repro import LossSpec, T2Vec, T2VecConfig, TrainingConfig, porto_like
+from repro.tasks import KMeans, cluster_purity, normalized_mutual_information
+
+
+def bag_of_cells(model, trips):
+    """Naive baseline representation: normalized cell-visit histogram."""
+    vocab = model.vocab
+    out = np.zeros((len(trips), vocab.size))
+    for i, trip in enumerate(trips):
+        tokens = vocab.tokenize_points(trip.points)
+        counts = np.bincount(tokens, minlength=vocab.size)
+        out[i] = counts / counts.sum()
+    return out
+
+
+def main():
+    city = porto_like(seed=7)
+    trips = city.generate(400)
+    train, heldout = trips[:300], trips[300:]
+
+    print(f"training t2vec on {len(train)} trips...")
+    model = T2Vec(T2VecConfig(
+        min_hits=5, embedding_size=48, hidden_size=48, num_layers=1,
+        loss=LossSpec(kind="L3", k_nearest=10, noise=48),
+        training=TrainingConfig(batch_size=256, max_epochs=10, patience=4),
+        seed=0,
+    ))
+    model.fit(train)
+
+    route_ids = [t.route_id for t in heldout]
+    n_clusters = min(20, len(set(route_ids)))
+    print(f"clustering {len(heldout)} held-out trips from "
+          f"{len(set(route_ids))} routes into {n_clusters} clusters\n")
+
+    vectors = model.encode_many(heldout)
+    labels_t2vec = KMeans(n_clusters, seed=0).fit_predict(vectors)
+    labels_boc = KMeans(n_clusters, seed=0).fit_predict(
+        bag_of_cells(model, heldout))
+
+    print(f"{'representation':<18}  {'purity':>6}  {'NMI':>6}")
+    for name, labels in (("t2vec vectors", labels_t2vec),
+                         ("bag-of-cells", labels_boc)):
+        purity = cluster_purity(labels, route_ids)
+        nmi = normalized_mutual_information(labels, route_ids)
+        print(f"{name:<18}  {purity:>6.3f}  {nmi:>6.3f}")
+    print("\nNMI is the fairer score here (there are more routes than "
+          "clusters, which inflates purity for fragmented clusterings); "
+          "t2vec's vectors recover more route structure than the "
+          "order-blind bag-of-cells representation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so ``pip install -e .`` works without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "t2vec: deep representation learning for trajectory similarity "
+        "computation (ICDE 2018 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+)

@@ -1,0 +1,47 @@
+"""repro — a full reproduction of *Deep Representation Learning for
+Trajectory Similarity Computation* (t2vec, ICDE 2018).
+
+Top-level convenience imports cover the common workflow::
+
+    from repro import T2Vec, porto_like
+
+    city = porto_like()
+    trips = city.generate(500)
+    model = T2Vec()
+    model.fit(trips)
+    vector = model.encode(trips[0])
+
+Sub-packages: :mod:`repro.nn` (numpy autograd + GRU substrate),
+:mod:`repro.spatial` (grid + hot-cell vocabulary), :mod:`repro.data`
+(synthetic city, transforms, batching), :mod:`repro.baselines`
+(EDR/LCSS/EDwP/... comparison measures), :mod:`repro.core` (the t2vec
+model), and :mod:`repro.eval` (the paper's experiment harness).
+"""
+
+from .core import (ExactIndex, LSHIndex, LossSpec, T2Vec, T2VecConfig,
+                   TrainingConfig)
+from .data import (SyntheticCity, Trajectory, alternating_split, distort,
+                   downsample, harbin_like, porto_like)
+from .spatial import CellVocabulary, Grid, Projection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellVocabulary",
+    "ExactIndex",
+    "Grid",
+    "LSHIndex",
+    "LossSpec",
+    "Projection",
+    "SyntheticCity",
+    "T2Vec",
+    "T2VecConfig",
+    "TrainingConfig",
+    "Trajectory",
+    "alternating_split",
+    "distort",
+    "downsample",
+    "harbin_like",
+    "porto_like",
+    "__version__",
+]

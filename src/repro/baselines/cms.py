@@ -1,0 +1,55 @@
+"""Common-set (CMS) baseline.
+
+The paper's sanity-check baseline: map trajectories to hot cells and
+compare their *sets* of cells, ignoring order.  If a sequence model only
+ever exploited shared cells, CMS would perform as well — Table III shows
+it performs worst, which is the evidence that t2vec learns more than cell
+overlap.
+
+We use the Jaccard distance ``1 - |A ∩ B| / |A ∪ B|``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..data.trajectory import Trajectory
+from ..spatial.vocab import CellVocabulary
+from .base import TrajectoryDistance
+
+
+class CMS(TrajectoryDistance):
+    """Jaccard distance over hot-cell token sets."""
+
+    name = "CMS"
+
+    def __init__(self, vocab: CellVocabulary):
+        self.vocab = vocab
+        self._cache: Dict[bytes, frozenset] = {}
+
+    def _token_set(self, trajectory: Trajectory) -> frozenset:
+        key = trajectory.cache_key()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = frozenset(self.vocab.tokenize_points(trajectory.points).tolist())
+            self._cache[key] = cached
+        return cached
+
+    def distance(self, a: Trajectory, b: Trajectory) -> float:
+        sa, sb = self._token_set(a), self._token_set(b)
+        union = len(sa | sb)
+        if union == 0:
+            return 0.0
+        return 1.0 - len(sa & sb) / union
+
+    def distance_to_many(self, query: Trajectory,
+                         candidates: Sequence[Trajectory]) -> np.ndarray:
+        sq = self._token_set(query)
+        out = np.empty(len(candidates))
+        for k, cand in enumerate(candidates):
+            sc = self._token_set(cand)
+            union = len(sq | sc)
+            out[k] = 0.0 if union == 0 else 1.0 - len(sq & sc) / union
+        return out

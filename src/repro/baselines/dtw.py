@@ -1,0 +1,48 @@
+"""Dynamic Time Warping (Yi et al., ICDE 1998).
+
+The classic local-time-shift measure.  The paper excludes DTW from its
+experiment tables (it is dominated by EDR on trajectory data) but we
+implement it for completeness — it is the canonical pairwise
+point-matching baseline and useful for users comparing measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.trajectory import Trajectory
+from .base import (INF, TrajectoryDistance, anti_diagonals,
+                   batched_cost_tensor, point_dists, stack_padded)
+
+
+class DTW(TrajectoryDistance):
+    """Unconstrained DTW with Euclidean point costs."""
+
+    name = "DTW"
+
+    def distance(self, a: Trajectory, b: Trajectory) -> float:
+        cost = point_dists(a.points, b.points)
+        n, m = cost.shape
+        dp = np.full((n + 1, m + 1), INF)
+        dp[0, 0] = 0.0
+        for i in range(1, n + 1):
+            for j in range(1, m + 1):
+                dp[i, j] = cost[i - 1, j - 1] + min(
+                    dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+        return float(dp[n, m])
+
+    def distance_to_many(self, query: Trajectory,
+                         candidates: Sequence[Trajectory]) -> np.ndarray:
+        points, lengths = stack_padded(candidates)
+        cost = batched_cost_tensor(query.points, points)   # (N, n, L)
+        big_n, n, max_len = cost.shape
+        dp = np.full((big_n, n + 1, max_len + 1), INF)
+        dp[:, 0, 0] = 0.0
+        for i, j in anti_diagonals(n, max_len):
+            prev = np.minimum(
+                np.minimum(dp[:, i, j + 1], dp[:, i + 1, j]),
+                dp[:, i, j])
+            dp[:, i + 1, j + 1] = cost[:, i, j] + prev
+        return dp[np.arange(big_n), n, lengths]

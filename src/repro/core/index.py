@@ -1,0 +1,101 @@
+"""Vector indexes for k-NN search over trajectory representations.
+
+* :class:`ExactIndex` — brute-force Euclidean scan; O(N · |v|) per query,
+  which is already the paper's headline complexity (Section IV-D) and at
+  least an order of magnitude faster than the DP baselines.
+* :class:`LSHIndex` — random-hyperplane locality-sensitive hashing with
+  multiple tables; the paper's future-work item §VI.3.  Candidates from
+  matching buckets are re-ranked exactly, so results degrade gracefully
+  (recall < 1, never wrong distances).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ExactIndex:
+    """Brute-force Euclidean k-NN over a matrix of vectors."""
+
+    def __init__(self, vectors: np.ndarray):
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be (n, d), got {vectors.shape}")
+        self.vectors = vectors
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def distances(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=float).reshape(-1)
+        return np.sqrt(((self.vectors - query[None, :]) ** 2).sum(axis=1))
+
+    def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, distances)`` of the k nearest vectors."""
+        dists = self.distances(query)
+        k = min(k, len(dists))
+        idx = np.argpartition(dists, k - 1)[:k]
+        order = np.argsort(dists[idx], kind="stable")
+        return idx[order], dists[idx[order]]
+
+
+class LSHIndex:
+    """Random-hyperplane LSH with exact re-ranking of candidates.
+
+    Each of ``num_tables`` tables hashes a vector to the sign pattern of
+    ``num_bits`` random projections; a query scans the union of its
+    buckets across tables.  ``knn`` falls back to a brute-force scan when
+    the buckets yield fewer than ``k`` candidates, so it never returns
+    fewer results than requested.
+    """
+
+    def __init__(self, vectors: np.ndarray, num_tables: int = 8,
+                 num_bits: int = 12, seed: int = 0):
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be (n, d), got {vectors.shape}")
+        if num_tables < 1 or num_bits < 1:
+            raise ValueError("num_tables and num_bits must be >= 1")
+        if num_bits > 62:
+            raise ValueError("num_bits must fit in an int64 signature")
+        self.vectors = vectors
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        rng = np.random.default_rng(seed)
+        dim = vectors.shape[1]
+        self._planes = rng.standard_normal((num_tables, num_bits, dim))
+        self._tables: List[dict] = []
+        for t in range(num_tables):
+            signatures = self._signatures(vectors, t)
+            table: dict = {}
+            for i, sig in enumerate(signatures):
+                table.setdefault(int(sig), []).append(i)
+            self._tables.append(table)
+
+    def _signatures(self, vectors: np.ndarray, table: int) -> np.ndarray:
+        bits = (vectors @ self._planes[table].T) > 0          # (n, bits)
+        powers = (1 << np.arange(self.num_bits)).astype(np.int64)
+        return bits @ powers
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Union of the query's bucket members across all tables."""
+        query = np.asarray(query, dtype=float).reshape(1, -1)
+        found: set = set()
+        for t in range(self.num_tables):
+            sig = int(self._signatures(query, t)[0])
+            found.update(self._tables[t].get(sig, ()))
+        return np.fromiter(found, dtype=np.int64, count=len(found))
+
+    def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN: exact re-ranking of LSH candidates."""
+        query = np.asarray(query, dtype=float).reshape(-1)
+        cand = self.candidates(query)
+        if len(cand) < k:  # not enough candidates: degrade to exact scan
+            cand = np.arange(len(self.vectors))
+        dists = np.sqrt(((self.vectors[cand] - query[None, :]) ** 2).sum(axis=1))
+        k = min(k, len(cand))
+        idx = np.argpartition(dists, k - 1)[:k]
+        order = np.argsort(dists[idx], kind="stable")
+        return cand[idx[order]], dists[idx[order]]

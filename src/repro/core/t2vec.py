@@ -1,0 +1,280 @@
+"""The t2vec public API.
+
+:class:`T2Vec` bundles the full pipeline of the paper behind a
+scikit-learn-ish interface:
+
+>>> model = T2Vec()
+>>> model.fit(training_trajectories)
+>>> v = model.encode(trajectory)                 # (hidden,) vector
+>>> d = model.distance(traj_a, traj_b)           # Euclidean in vector space
+>>> idx = model.knn(query, database, k=10)       # k nearest trajectories
+
+``fit`` performs, in order: grid construction, hot-cell vocabulary
+extraction (δ threshold), cell-embedding pretraining (Algorithm 1),
+training-pair synthesis (16 degraded variants per trajectory), and
+seq2seq training with the selected loss (L1 / L2 / L3).
+
+:class:`T2Vec` implements :class:`~repro.baselines.base.TrajectoryDistance`,
+so the evaluation harness treats it exactly like the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..baselines.base import TrajectoryDistance
+from ..data.dataset import PairDataset, pad_batch, tokenize
+from ..data.pairs import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
+                          build_training_pairs)
+from ..data.trajectory import Trajectory
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..spatial.grid import Grid
+from ..spatial.vocab import CellVocabulary
+from .cell_embedding import CellEmbeddingConfig, CellEmbeddingTrainer
+from .encoder_decoder import EncoderDecoder, ModelConfig
+from .losses import LossSpec
+from .trainer import Trainer, TrainingConfig, TrainingResult
+
+
+@dataclass(frozen=True)
+class T2VecConfig:
+    """End-to-end configuration; defaults follow DESIGN.md §7."""
+
+    cell_size: float = 100.0            # meters (paper: 100)
+    min_hits: int = 5                   # hot-cell threshold δ (paper: 50)
+    embedding_size: int = 64            # cell vector dim d (paper: 256)
+    hidden_size: int = 64               # |v| (paper: 256)
+    num_layers: int = 2                 # GRU layers (paper: 3)
+    dropout: float = 0.1
+    rnn_type: str = "gru"               # paper's choice; "lstm" for ablation
+    loss: LossSpec = LossSpec()
+    pretrain_cells: bool = True         # run Algorithm 1 (CL)
+    cell_epochs: int = 3
+    dropping_rates: tuple = DEFAULT_DROPPING_RATES
+    distorting_rates: tuple = DEFAULT_DISTORTING_RATES
+    training: TrainingConfig = TrainingConfig()
+    val_fraction: float = 0.1
+    seed: int = 0
+
+
+class T2Vec(TrajectoryDistance):
+    """Trajectory-to-vector model (the paper's primary contribution)."""
+
+    name = "t2vec"
+
+    def __init__(self, config: T2VecConfig = T2VecConfig()):
+        self.config = config
+        self.grid: Optional[Grid] = None
+        self.vocab: Optional[CellVocabulary] = None
+        self.model: Optional[EncoderDecoder] = None
+        self.last_result: Optional[TrainingResult] = None
+        self._encodings: Dict[bytes, np.ndarray] = {}
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, trajectories: Sequence[Trajectory],
+            validation: Optional[Sequence[Trajectory]] = None) -> TrainingResult:
+        """Run the full training pipeline on a trajectory archive.
+
+        When ``validation`` is omitted, the last ``val_fraction`` of the
+        input is held out (the paper splits by starting timestamp, which
+        for our generators is the list order).
+        """
+        trajectories = list(trajectories)
+        if len(trajectories) < 2:
+            raise ValueError("fit needs at least two trajectories")
+        if validation is None and self.config.val_fraction > 0:
+            n_val = max(1, int(len(trajectories) * self.config.val_fraction))
+            validation = trajectories[-n_val:]
+            trajectories = trajectories[:-n_val]
+
+        self._build_vocabulary(trajectories)
+        self._build_model()
+        train_ds, val_ds = self._build_datasets(trajectories, validation)
+
+        trainer = Trainer(self.model, self.vocab, self.config.loss,
+                          self.config.training)
+        self.last_result = trainer.fit(train_ds, val_ds)
+        self._encodings.clear()
+        return self.last_result
+
+    def _build_vocabulary(self, trajectories: Sequence[Trajectory]) -> None:
+        points = np.concatenate([t.points for t in trajectories], axis=0)
+        self.grid = Grid.covering(points, self.config.cell_size)
+        self.vocab = CellVocabulary.build(self.grid, points,
+                                          min_hits=self.config.min_hits)
+
+    def _build_model(self) -> None:
+        cfg = self.config
+        self.model = EncoderDecoder(ModelConfig(
+            vocab_size=self.vocab.size,
+            embedding_size=cfg.embedding_size,
+            hidden_size=cfg.hidden_size,
+            num_layers=cfg.num_layers,
+            dropout=cfg.dropout,
+            rnn_type=cfg.rnn_type,
+            seed=cfg.seed,
+        ))
+        if cfg.pretrain_cells:
+            cell_trainer = CellEmbeddingTrainer(self.vocab, CellEmbeddingConfig(
+                dim=cfg.embedding_size,
+                k_nearest=cfg.loss.k_nearest,
+                theta=cfg.loss.theta,
+                epochs=cfg.cell_epochs,
+                seed=cfg.seed,
+            ))
+            vectors = cell_trainer.train()
+            # Keep the model's random vectors for the special tokens.
+            vectors[:4] = self.model.embedding.weight.data[:4]
+            self.model.embedding.load_pretrained(vectors)
+
+    def _build_datasets(self, train: Sequence[Trajectory],
+                        validation: Optional[Sequence[Trajectory]]):
+        cfg = self.config
+        train_pairs = build_training_pairs(train, cfg.dropping_rates,
+                                           cfg.distorting_rates, self._rng)
+        train_ds = PairDataset(train_pairs, self.vocab)
+        val_ds = None
+        if validation:
+            val_pairs = build_training_pairs(validation, cfg.dropping_rates,
+                                             cfg.distorting_rates, self._rng)
+            val_ds = PairDataset(val_pairs, self.vocab)
+        return train_ds, val_ds
+
+    # ------------------------------------------------------------------
+    # Encoding and similarity
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.model is None or self.vocab is None:
+            raise RuntimeError("T2Vec is not fitted; call fit() or load() first")
+
+    def encode(self, trajectory: Trajectory) -> np.ndarray:
+        """The trajectory's representation vector ``v`` (shape ``(hidden,)``)."""
+        return self.encode_many([trajectory])[0]
+
+    def encode_many(self, trajectories: Sequence[Trajectory],
+                    batch_size: int = 256) -> np.ndarray:
+        """Embed many trajectories (O(n) each); cached per object identity."""
+        self._require_fitted()
+        missing = list({t.cache_key(): t for t in trajectories
+                        if t.cache_key() not in self._encodings}.values())
+        for start in range(0, len(missing), batch_size):
+            chunk = missing[start:start + batch_size]
+            sequences = [tokenize(t, self.vocab) for t in chunk]
+            batch, mask = pad_batch(sequences)
+            vectors = self.model.represent(batch, mask)
+            for traj, vec in zip(chunk, vectors):
+                self._encodings[traj.cache_key()] = vec
+        return np.stack([self._encodings[t.cache_key()] for t in trajectories])
+
+    def distance(self, a: Trajectory, b: Trajectory) -> float:
+        va, vb = self.encode_many([a, b])
+        return float(np.sqrt(((va - vb) ** 2).sum()))
+
+    def distance_to_many(self, query: Trajectory,
+                         candidates: Sequence[Trajectory]) -> np.ndarray:
+        vq = self.encode(query)
+        vc = self.encode_many(candidates)
+        return np.sqrt(((vc - vq[None, :]) ** 2).sum(axis=1))
+
+    def reconstruct_route(self, trajectory: Trajectory, max_len: int = 100,
+                          beam_width: int = 1) -> np.ndarray:
+        """Decode the most likely dense route as ``(n, 2)`` cell centroids.
+
+        This is the paper's core intuition made visible: from a degraded
+        trajectory the decoder recovers the underlying route.
+        ``beam_width > 1`` switches from greedy to beam-search decoding,
+        which tracks several candidate routes and usually stays closer to
+        the true one when the spatially smoothed output distribution is
+        flat.
+        """
+        self._require_fitted()
+        tokens = tokenize(trajectory, self.vocab)
+        batch, mask = pad_batch([tokens])
+        if beam_width > 1:
+            decoded = self.model.beam_decode(batch, mask,
+                                             beam_width=beam_width,
+                                             max_len=max_len)[0]
+        else:
+            decoded = self.model.greedy_decode(batch, mask, max_len=max_len)[0]
+        hot = decoded[decoded >= 4]
+        if len(hot) == 0:
+            return np.empty((0, 2))
+        return self.vocab.centroid_of_tokens(hot)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write model weights, vocabulary, and configuration to one file."""
+        self._require_fitted()
+        state = self.model.state_dict()
+        state["_vocab.hot_cells"] = self.vocab.hot_cells
+        if self.vocab.hit_counts is not None:
+            state["_vocab.hit_counts"] = self.vocab.hit_counts
+        meta = {
+            "grid": {
+                "min_x": self.grid.min_x, "min_y": self.grid.min_y,
+                "max_x": self.grid.max_x, "max_y": self.grid.max_y,
+                "cell_size": self.grid.cell_size,
+            },
+            "config": {
+                "cell_size": self.config.cell_size,
+                "min_hits": self.config.min_hits,
+                "embedding_size": self.config.embedding_size,
+                "hidden_size": self.config.hidden_size,
+                "num_layers": self.config.num_layers,
+                "dropout": self.config.dropout,
+                "rnn_type": self.config.rnn_type,
+                "loss": {
+                    "kind": self.config.loss.kind,
+                    "k_nearest": self.config.loss.k_nearest,
+                    "theta": self.config.loss.theta,
+                    "noise": self.config.loss.noise,
+                },
+                "seed": self.config.seed,
+            },
+        }
+        save_checkpoint(path, state, meta)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "T2Vec":
+        """Restore a model written by :meth:`save`."""
+        state, meta = load_checkpoint(path)
+        if meta is None:
+            raise ValueError(f"{path} has no t2vec metadata")
+        cfg_meta = meta["config"]
+        config = T2VecConfig(
+            cell_size=cfg_meta["cell_size"],
+            min_hits=cfg_meta["min_hits"],
+            embedding_size=cfg_meta["embedding_size"],
+            hidden_size=cfg_meta["hidden_size"],
+            num_layers=cfg_meta["num_layers"],
+            dropout=cfg_meta["dropout"],
+            rnn_type=cfg_meta.get("rnn_type", "gru"),
+            loss=LossSpec(**cfg_meta["loss"]),
+            seed=cfg_meta["seed"],
+        )
+        instance = cls(config)
+        grid_meta = meta["grid"]
+        instance.grid = Grid(**grid_meta)
+        hot_cells = state.pop("_vocab.hot_cells")
+        hit_counts = state.pop("_vocab.hit_counts", None)
+        instance.vocab = CellVocabulary(instance.grid, hot_cells, hit_counts)
+        instance.model = EncoderDecoder(ModelConfig(
+            vocab_size=instance.vocab.size,
+            embedding_size=config.embedding_size,
+            hidden_size=config.hidden_size,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            rnn_type=config.rnn_type,
+            seed=config.seed,
+        ))
+        instance.model.load_state_dict(state)
+        return instance

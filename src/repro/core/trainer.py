@@ -1,0 +1,134 @@
+"""Training loop for the t2vec encoder-decoder.
+
+Implements the paper's training regime (Section V-B): Adam with initial
+learning rate 1e-3, gradient clipping at global norm 5, teacher forcing,
+and early stopping on a validation set ("training is terminated if the
+loss in the validation dataset does not decrease in 20,000 successive
+iterations" — here expressed as a patience in validation rounds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import Batch, TokenPairDataset
+from ..nn import Adam, clip_grad_norm
+from ..spatial.proximity import ProximityVocabulary
+from .encoder_decoder import EncoderDecoder
+from .losses import LossSpec, sequence_loss
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimization hyper-parameters (paper values in parentheses)."""
+
+    batch_size: int = 32
+    max_epochs: int = 10
+    lr: float = 1e-3               # Adam initial learning rate (1e-3)
+    clip_norm: float = 5.0         # max gradient norm (5)
+    patience: int = 5              # validation rounds without improvement
+    eval_batches: int = 20         # validation mini-batches per round
+    seed: int = 0
+
+
+@dataclass
+class TrainingResult:
+    """What happened during :meth:`Trainer.fit`."""
+
+    train_losses: List[float] = field(default_factory=list)   # per epoch
+    val_losses: List[float] = field(default_factory=list)     # per validation
+    best_val_loss: float = float("inf")
+    epochs_run: int = 0
+    steps: int = 0
+    wall_time_s: float = 0.0
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Fits an :class:`EncoderDecoder` on a :class:`TokenPairDataset`."""
+
+    def __init__(self, model: EncoderDecoder, vocab: ProximityVocabulary,
+                 loss_spec: LossSpec = LossSpec(),
+                 config: TrainingConfig = TrainingConfig()):
+        self.model = model
+        self.vocab = vocab
+        self.loss_spec = loss_spec
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.optimizer = Adam(model.parameters(), lr=config.lr)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def fit(self, train: TokenPairDataset,
+            validation: Optional[TokenPairDataset] = None) -> TrainingResult:
+        """Train until ``max_epochs`` or early stopping; restores best weights."""
+        result = TrainingResult()
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        bad_rounds = 0
+        start = time.perf_counter()
+
+        for epoch in range(self.config.max_epochs):
+            epoch_losses = []
+            for batch in train.batches(self.config.batch_size, self._rng):
+                epoch_losses.append(self.train_step(batch))
+                result.steps += 1
+            result.train_losses.append(float(np.mean(epoch_losses)))
+            result.epochs_run = epoch + 1
+
+            if validation is not None and len(validation):
+                val_loss = self.evaluate(validation)
+                result.val_losses.append(val_loss)
+                if val_loss < result.best_val_loss - 1e-6:
+                    result.best_val_loss = val_loss
+                    best_state = self.model.state_dict()
+                    bad_rounds = 0
+                else:
+                    bad_rounds += 1
+                    if bad_rounds >= self.config.patience:
+                        result.stopped_early = True
+                        break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        result.wall_time_s = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def train_step(self, batch: Batch) -> float:
+        """One optimizer step on one mini-batch; returns the loss value."""
+        self.model.train()
+        _, state = self.model.encode(batch.src, batch.src_mask)
+        hidden = self.model.decode(batch.tgt_in, state, batch.tgt_mask)
+        loss = sequence_loss(self.model, hidden, batch.tgt_out, batch.tgt_mask,
+                             self.vocab, self.loss_spec, self._rng)
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+        self.optimizer.step()
+        return loss.item()
+
+    def evaluate(self, dataset: TokenPairDataset,
+                 max_batches: Optional[int] = None) -> float:
+        """Mean validation loss (no parameter updates, dropout off)."""
+        self.model.eval()
+        max_batches = max_batches or self.config.eval_batches
+        losses = []
+        for i, batch in enumerate(dataset.batches(self.config.batch_size,
+                                                  self._rng, shuffle=False)):
+            if i >= max_batches:
+                break
+            _, state = self.model.encode(batch.src, batch.src_mask)
+            hidden = self.model.decode(batch.tgt_in, state, batch.tgt_mask)
+            loss = sequence_loss(self.model, hidden, batch.tgt_out,
+                                 batch.tgt_mask, self.vocab, self.loss_spec,
+                                 self._rng)
+            losses.append(loss.item())
+        self.model.train()
+        return float(np.mean(losses)) if losses else float("inf")

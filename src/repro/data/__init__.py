@@ -1,0 +1,46 @@
+"""Data substrate: trajectories, the synthetic city, transforms, batching.
+
+Replaces the paper's Porto/Harbin GPS archives with a synthetic city
+whose route popularity is Zipf-skewed (DESIGN.md §2); a loader for the
+real Porto CSV is provided for users who have the file.
+"""
+
+from .archive import load_archive, save_archive
+from .dataset import Batch, PairDataset, TokenPairDataset, pad_batch, tokenize
+from .generator import (CityConfig, SyntheticCity, dataset_statistics,
+                        harbin_like, porto_like)
+from .pairs import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
+                    TrainingPair, build_training_pairs, iter_training_pairs)
+from .porto import load_porto
+from .roadnet import RoadNetwork
+from .trajectory import Trajectory
+from .transforms import (DISTORTION_RADIUS_M, alternating_split, degrade,
+                         distort, downsample)
+
+__all__ = [
+    "Batch",
+    "CityConfig",
+    "DEFAULT_DISTORTING_RATES",
+    "DEFAULT_DROPPING_RATES",
+    "DISTORTION_RADIUS_M",
+    "PairDataset",
+    "RoadNetwork",
+    "SyntheticCity",
+    "TokenPairDataset",
+    "Trajectory",
+    "TrainingPair",
+    "alternating_split",
+    "build_training_pairs",
+    "dataset_statistics",
+    "degrade",
+    "distort",
+    "downsample",
+    "harbin_like",
+    "iter_training_pairs",
+    "load_archive",
+    "load_porto",
+    "save_archive",
+    "pad_batch",
+    "porto_like",
+    "tokenize",
+]

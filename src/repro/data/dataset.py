@@ -1,0 +1,129 @@
+"""Tokenization and mini-batch assembly for the seq2seq model.
+
+Trajectories become token sequences through the hot-cell vocabulary
+(:class:`repro.spatial.CellVocabulary`); pairs are batched time-major with
+PAD, and the decoder side is framed as ``BOS + y`` → ``y + EOS``
+(paper Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..spatial.vocab import BOS, EOS, PAD, CellVocabulary
+from .pairs import TrainingPair
+from .trajectory import Trajectory
+
+
+def tokenize(trajectory: Trajectory, vocab: CellVocabulary,
+             dedup_consecutive: bool = False) -> np.ndarray:
+    """Map a trajectory to hot-cell tokens.
+
+    ``dedup_consecutive`` collapses runs of identical tokens (several
+    samples inside one cell); the paper keeps duplicates, so the default
+    is ``False``.
+    """
+    tokens = vocab.tokenize_points(trajectory.points)
+    if dedup_consecutive and len(tokens) > 1:
+        keep = np.concatenate([[True], tokens[1:] != tokens[:-1]])
+        tokens = tokens[keep]
+    return tokens
+
+
+def pad_batch(sequences: Sequence[np.ndarray],
+              pad_value: int = PAD) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad 1-D int sequences into a time-major ``(T, B)`` batch.
+
+    Returns ``(tokens, mask)`` where ``mask`` is 1.0 on real positions.
+    """
+    if not sequences:
+        raise ValueError("cannot pad an empty batch")
+    lengths = np.array([len(s) for s in sequences])
+    max_len = int(lengths.max())
+    batch = np.full((max_len, len(sequences)), pad_value, dtype=np.int64)
+    mask = np.zeros((max_len, len(sequences)))
+    for j, seq in enumerate(sequences):
+        batch[: len(seq), j] = seq
+        mask[: len(seq), j] = 1.0
+    return batch, mask
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One training mini-batch (all arrays time-major)."""
+
+    src: np.ndarray        # (T_src, B) encoder tokens
+    src_mask: np.ndarray   # (T_src, B) 1.0 on real positions
+    tgt_in: np.ndarray     # (T_tgt, B) decoder inputs, starts with BOS
+    tgt_out: np.ndarray    # (T_tgt, B) decoder targets, ends with EOS
+    tgt_mask: np.ndarray   # (T_tgt, B)
+
+    @property
+    def size(self) -> int:
+        return self.src.shape[1]
+
+
+class TokenPairDataset:
+    """Generic tokenized (source, target) pairs with length-bucketed batching.
+
+    Domain-agnostic: anything that produces aligned token sequences (grid
+    cells, time-series value bins, ...) can train the encoder-decoder
+    through this class.
+    """
+
+    def __init__(self, sources: Sequence[np.ndarray],
+                 targets: Sequence[np.ndarray]):
+        if len(sources) != len(targets):
+            raise ValueError(
+                f"{len(sources)} sources but {len(targets)} targets")
+        self.sources: List[np.ndarray] = [np.asarray(s, dtype=np.int64)
+                                          for s in sources]
+        self.targets: List[np.ndarray] = [np.asarray(t, dtype=np.int64)
+                                          for t in targets]
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def batches(self, batch_size: int, rng: Optional[np.random.Generator] = None,
+                shuffle: bool = True) -> Iterator[Batch]:
+        """Yield padded mini-batches.
+
+        Pairs are sorted by source length and chunked so batches have
+        similar lengths (less padding waste); chunk order is shuffled each
+        pass so the model does not see a length curriculum.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.argsort([len(s) for s in self.sources], kind="stable")
+        chunks = [order[i:i + batch_size] for i in range(0, len(order), batch_size)]
+        if shuffle:
+            rng = rng or np.random.default_rng()
+            rng.shuffle(chunks)
+        for chunk in chunks:
+            yield self._make_batch(chunk)
+
+    def _make_batch(self, indices: np.ndarray) -> Batch:
+        src, src_mask = pad_batch([self.sources[i] for i in indices])
+        tgt_in_seqs = [np.concatenate([[BOS], self.targets[i]]) for i in indices]
+        tgt_out_seqs = [np.concatenate([self.targets[i], [EOS]]) for i in indices]
+        tgt_in, _ = pad_batch(tgt_in_seqs)
+        tgt_out, tgt_mask = pad_batch(tgt_out_seqs)
+        return Batch(src=src, src_mask=src_mask,
+                     tgt_in=tgt_in, tgt_out=tgt_out, tgt_mask=tgt_mask)
+
+
+class PairDataset(TokenPairDataset):
+    """Trajectory training pairs tokenized through a cell vocabulary."""
+
+    def __init__(self, pairs: Sequence[TrainingPair], vocab: CellVocabulary,
+                 dedup_consecutive: bool = False):
+        self.vocab = vocab
+        super().__init__(
+            sources=[tokenize(p.source, vocab, dedup_consecutive)
+                     for p in pairs],
+            targets=[tokenize(p.target, vocab, dedup_consecutive)
+                     for p in pairs],
+        )

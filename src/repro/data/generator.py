@@ -1,0 +1,192 @@
+"""Synthetic trajectory generator — the stand-in for the Porto/Harbin archives.
+
+The paper's experiments need a large archive of *dense, uniformly sampled*
+taxi trips whose underlying routes are shared and skewed in popularity
+(Section IV-A: "transition patterns between locations are often highly
+skewed").  This module synthesizes such an archive:
+
+1. Build a perturbed street grid (:class:`repro.data.roadnet.RoadNetwork`).
+2. Draw a catalogue of routes: origin–destination shortest paths.
+3. Assign route popularity from a Zipf law, so a few routes dominate —
+   exactly the transition-pattern skew t2vec exploits.
+4. For each trip, move along the route polyline at a per-trip speed and
+   emit a sample every ``sample_interval`` seconds (Porto taxis: 15 s),
+   plus small GPS noise.
+
+Trips therefore play the role of the paper's high-sampling-rate original
+trajectories ``Tb``; the down-sampling/distortion transforms in
+:mod:`repro.data.transforms` derive the degraded variants ``Ta``.
+
+Two presets, :func:`porto_like` and :func:`harbin_like`, mirror the
+paper's two cities with different geometry and trip statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .roadnet import RoadNetwork
+from .trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of a synthetic city and its taxi fleet."""
+
+    name: str = "synthetic"
+    grid_cols: int = 12
+    grid_rows: int = 12
+    spacing: float = 200.0          # block size, meters
+    jitter: float = 0.25            # node position jitter (fraction of spacing)
+    edge_removal: float = 0.15      # fraction of street edges removed
+    num_routes: int = 120           # size of the route catalogue (OD pairs)
+    zipf_exponent: float = 1.05     # route popularity skew (>1 = heavy head)
+    variants_per_route: int = 4     # alternative paths per OD pair
+    route_sigma: float = 0.3        # edge-weight noise when drawing variants
+    min_route_nodes: int = 6        # discard too-short OD paths
+    speed_mean: float = 8.0         # m/s (~29 km/h city traffic)
+    speed_std: float = 2.0
+    speed_walk: float = 0.15        # intra-trip speed random-walk step (fraction)
+    sample_interval: float = 15.0   # seconds between samples (Porto: 15 s)
+    gps_noise: float = 8.0          # std-dev of per-point GPS jitter, meters
+    min_points: int = 20            # discard trips shorter than this
+    seed: int = 7
+
+
+def _arc_lengths(polyline: np.ndarray) -> np.ndarray:
+    """Cumulative arc length at each vertex of a polyline (starts at 0)."""
+    segments = np.sqrt((np.diff(polyline, axis=0) ** 2).sum(axis=1))
+    return np.concatenate([[0.0], np.cumsum(segments)])
+
+
+def _sample_along(polyline: np.ndarray, distances: np.ndarray) -> np.ndarray:
+    """Positions at the given arc-length distances along a polyline."""
+    cumlen = _arc_lengths(polyline)
+    x = np.interp(distances, cumlen, polyline[:, 0])
+    y = np.interp(distances, cumlen, polyline[:, 1])
+    return np.stack([x, y], axis=1)
+
+
+class SyntheticCity:
+    """A road network plus a skewed route demand model."""
+
+    def __init__(self, config: CityConfig = CityConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.network = RoadNetwork.perturbed_grid(
+            config.grid_cols,
+            config.grid_rows,
+            config.spacing,
+            jitter=config.jitter,
+            edge_removal=config.edge_removal,
+            rng=self._rng,
+        )
+        # Route catalogue: each entry is an OD pair with several plausible
+        # path variants (perturbed-weight shortest paths), so trips sharing
+        # a route are similar but not identical — like real traffic.
+        self.routes: List[List[np.ndarray]] = []
+        for _ in range(config.num_routes):
+            path = self.network.random_route(self._rng, min_nodes=config.min_route_nodes)
+            origin, destination = path[0], path[-1]
+            variants = {tuple(path): self.network.path_polyline(path)}
+            for _ in range(config.variants_per_route - 1):
+                alt = self.network.perturbed_shortest_path(
+                    origin, destination, self._rng, sigma=config.route_sigma)
+                variants.setdefault(tuple(alt), self.network.path_polyline(alt))
+            self.routes.append(list(variants.values()))
+        ranks = np.arange(1, config.num_routes + 1, dtype=float)
+        popularity = ranks ** (-config.zipf_exponent)
+        self.route_probs = popularity / popularity.sum()
+
+    # ------------------------------------------------------------------
+    # Trip synthesis
+    # ------------------------------------------------------------------
+    def generate_trip(self, rng: Optional[np.random.Generator] = None,
+                      traj_id: Optional[int] = None) -> Trajectory:
+        """One dense trip along a popularity-sampled route."""
+        rng = rng or self._rng
+        cfg = self.config
+        route_id = int(rng.choice(len(self.routes), p=self.route_probs))
+        variants = self.routes[route_id]
+        polyline = variants[int(rng.integers(len(variants)))]
+        total = _arc_lengths(polyline)[-1]
+
+        # The vehicle's speed drifts during the trip (traffic, lights), so
+        # samples taken at a fixed time interval are non-uniformly spaced
+        # along the route — the sampling irregularity the paper targets.
+        base_speed = max(1.0, rng.normal(cfg.speed_mean, cfg.speed_std))
+        max_samples = int(np.ceil(total / (base_speed * cfg.sample_interval))) + 3
+        walk = np.cumsum(rng.normal(0.0, cfg.speed_walk, size=max_samples * 2))
+        speeds = base_speed * np.exp(np.clip(walk, -1.0, 1.0))
+        steps = np.maximum(1.0, speeds) * cfg.sample_interval
+        offset = rng.uniform(0.0, steps[0] * 0.5)
+        distances = offset + np.cumsum(steps)
+        distances = np.concatenate([[offset], distances])
+        distances = distances[distances < total]
+        distances = np.append(distances, total)
+        points = _sample_along(polyline, distances)
+        points += rng.normal(0.0, cfg.gps_noise, size=points.shape)
+        timestamps = np.arange(len(distances)) * cfg.sample_interval
+        return Trajectory(points=points, timestamps=timestamps,
+                          traj_id=traj_id, route_id=route_id)
+
+    def generate(self, n_trips: int,
+                 rng: Optional[np.random.Generator] = None) -> List[Trajectory]:
+        """Generate trips, keeping only those with >= ``min_points`` samples.
+
+        Mirrors the paper's preprocessing ("we remove trajectories with
+        length less than 30"); short routes simply yield more attempts.
+        """
+        rng = rng or self._rng
+        trips: List[Trajectory] = []
+        attempts = 0
+        max_attempts = 50 * n_trips
+        while len(trips) < n_trips:
+            attempts += 1
+            if attempts > max_attempts:
+                raise RuntimeError(
+                    f"only {len(trips)}/{n_trips} trips reached "
+                    f"min_points={self.config.min_points}; routes too short?")
+            trip = self.generate_trip(rng, traj_id=len(trips))
+            if len(trip) >= self.config.min_points:
+                trips.append(trip)
+        return trips
+
+    def all_points(self, trips: List[Trajectory]) -> np.ndarray:
+        """Stack every sample point of a trip collection, ``(n, 2)``."""
+        return np.concatenate([t.points for t in trips], axis=0)
+
+
+def dataset_statistics(trips: List[Trajectory]) -> dict:
+    """Table II statistics: #points, #trips, mean length."""
+    lengths = np.array([len(t) for t in trips])
+    return {
+        "num_points": int(lengths.sum()),
+        "num_trips": len(trips),
+        "mean_length": float(lengths.mean()) if len(trips) else 0.0,
+    }
+
+
+def porto_like(seed: int = 7) -> SyntheticCity:
+    """A Porto-flavoured city: compact grid, 15 s sampling, medium trips."""
+    return SyntheticCity(CityConfig(
+        name="porto-syn",
+        grid_cols=14, grid_rows=14, spacing=200.0,
+        num_routes=150, zipf_exponent=1.05,
+        speed_mean=8.0, sample_interval=15.0,
+        min_points=30, min_route_nodes=10, seed=seed,
+    ))
+
+
+def harbin_like(seed: int = 17) -> SyntheticCity:
+    """A Harbin-flavoured city: larger sprawl, longer trips (paper mean 121)."""
+    return SyntheticCity(CityConfig(
+        name="harbin-syn",
+        grid_cols=16, grid_rows=11, spacing=250.0,
+        num_routes=170, zipf_exponent=1.1,
+        speed_mean=7.0, sample_interval=15.0,
+        min_points=35, min_route_nodes=11, seed=seed,
+    ))

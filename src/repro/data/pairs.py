@@ -1,0 +1,64 @@
+"""Training-pair synthesis (paper Sections IV-B and V-A).
+
+For each original trajectory ``Tb``, the paper creates its degraded
+variants ``Ta`` for every combination of dropping rate r1 in
+``[0, 0.2, 0.4, 0.6]`` and distorting rate r2 in ``[0, 0.2, 0.4, 0.6]`` —
+16 pairs per original.  The model is trained to maximize P(Tb | Ta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .trajectory import Trajectory
+from .transforms import degrade
+
+DEFAULT_DROPPING_RATES: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6)
+DEFAULT_DISTORTING_RATES: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6)
+
+
+@dataclass(frozen=True)
+class TrainingPair:
+    """A (source, target) trajectory pair: degraded ``Ta`` → original ``Tb``."""
+
+    source: Trajectory
+    target: Trajectory
+    dropping_rate: float
+    distorting_rate: float
+
+
+def build_training_pairs(
+    originals: Sequence[Trajectory],
+    dropping_rates: Sequence[float] = DEFAULT_DROPPING_RATES,
+    distorting_rates: Sequence[float] = DEFAULT_DISTORTING_RATES,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TrainingPair]:
+    """Materialize the full r1 x r2 grid of pairs for every original."""
+    rng = rng or np.random.default_rng()
+    pairs: List[TrainingPair] = []
+    for original in originals:
+        for r1 in dropping_rates:
+            for r2 in distorting_rates:
+                source = degrade(original, r1, r2, rng)
+                pairs.append(TrainingPair(source=source, target=original,
+                                          dropping_rate=r1, distorting_rate=r2))
+    return pairs
+
+
+def iter_training_pairs(
+    originals: Sequence[Trajectory],
+    dropping_rates: Sequence[float] = DEFAULT_DROPPING_RATES,
+    distorting_rates: Sequence[float] = DEFAULT_DISTORTING_RATES,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[TrainingPair]:
+    """Lazy variant of :func:`build_training_pairs` for large archives."""
+    rng = rng or np.random.default_rng()
+    for original in originals:
+        for r1 in dropping_rates:
+            for r2 in distorting_rates:
+                yield TrainingPair(source=degrade(original, r1, r2, rng),
+                                   target=original,
+                                   dropping_rate=r1, distorting_rate=r2)

@@ -1,0 +1,76 @@
+"""Loader for the real Porto taxi dataset (ECML/PKDD 2015 challenge CSV).
+
+The experiments in this repository run on the synthetic city (no network
+access, see DESIGN.md §2), but users who have the original
+``train.csv`` from https://www.geolink.pt/ecmlpkdd2015-challenge can load
+it here and reuse every other component unchanged.
+
+Each CSV row stores the trip's GPS points in the ``POLYLINE`` column as a
+JSON array of ``[lon, lat]`` pairs sampled every 15 seconds.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..spatial.geo import Projection
+from .trajectory import Trajectory
+
+# Porto city-center bounding box used by the original t2vec code to drop
+# out-of-town strays (lon_min, lat_min, lon_max, lat_max).
+PORTO_BBOX = (-8.735, 41.085, -8.155, 41.25)
+
+
+def iter_porto_polylines(path: Union[str, Path],
+                         polyline_column: str = "POLYLINE") -> Iterator[np.ndarray]:
+    """Yield ``(n, 2)`` lon/lat arrays from the challenge CSV, row by row."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or polyline_column not in reader.fieldnames:
+            raise ValueError(
+                f"{path} has no {polyline_column!r} column; "
+                f"found {reader.fieldnames}")
+        for row in reader:
+            polyline = json.loads(row[polyline_column])
+            if len(polyline) >= 2:
+                yield np.asarray(polyline, dtype=float)
+
+
+def load_porto(
+    path: Union[str, Path],
+    min_length: int = 30,
+    max_trips: Optional[int] = None,
+    bbox: Optional[tuple] = PORTO_BBOX,
+    projection: Optional[Projection] = None,
+) -> List[Trajectory]:
+    """Load Porto trips as projected-meter :class:`Trajectory` objects.
+
+    Mirrors the paper's preprocessing: trips shorter than ``min_length``
+    points are removed, and (optionally) trips leaving the city bounding
+    box are dropped.
+    """
+    trips: List[Trajectory] = []
+    anchor = projection
+    for lonlat in iter_porto_polylines(path):
+        if len(lonlat) < min_length:
+            continue
+        if bbox is not None:
+            lon_ok = (lonlat[:, 0] >= bbox[0]) & (lonlat[:, 0] <= bbox[2])
+            lat_ok = (lonlat[:, 1] >= bbox[1]) & (lonlat[:, 1] <= bbox[3])
+            if not (lon_ok & lat_ok).all():
+                continue
+        if anchor is None:
+            anchor = Projection.for_points(lonlat)
+        points = anchor.to_xy(lonlat)
+        timestamps = np.arange(len(points)) * 15.0  # 15 s sampling interval
+        trips.append(Trajectory(points=points, timestamps=timestamps,
+                                traj_id=len(trips)))
+        if max_trips is not None and len(trips) >= max_trips:
+            break
+    return trips

@@ -1,0 +1,154 @@
+"""Synthetic road network substrate.
+
+The paper trains on real taxi GPS archives (Porto, Harbin), whose key
+property is that *transition patterns between locations are highly
+skewed* — a small set of routes carries most of the traffic (Section
+IV-A).  We reproduce that property with a synthetic city: a perturbed
+grid road network plus a Zipf-skewed route demand model (see
+:mod:`repro.data.generator`).
+
+The network is an undirected ``networkx`` graph whose nodes carry meter
+coordinates; edges are weighted by their Euclidean length.  A fraction of
+edges is removed (keeping the graph connected) so shortest paths bend and
+overlap like real streets instead of being unique Manhattan staircases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class RoadNetwork:
+    """A connected planar road graph with meter coordinates."""
+
+    def __init__(self, graph: nx.Graph, positions: Dict[int, np.ndarray]):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("road network is empty")
+        if not nx.is_connected(graph):
+            raise ValueError("road network must be connected")
+        self.graph = graph
+        self.positions = {node: np.asarray(pos, dtype=float)
+                          for node, pos in positions.items()}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def perturbed_grid(
+        cls,
+        n_cols: int,
+        n_rows: int,
+        spacing: float,
+        jitter: float = 0.25,
+        edge_removal: float = 0.15,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "RoadNetwork":
+        """Build an ``n_cols x n_rows`` street grid with irregularities.
+
+        Parameters
+        ----------
+        spacing:
+            Block size in meters.
+        jitter:
+            Node positions are displaced by up to ``jitter * spacing``
+            in each axis, so streets are not perfectly straight.
+        edge_removal:
+            Fraction of edges to *attempt* to remove; an edge is only
+            removed when the graph stays connected, so some dead ends and
+            detours appear without disconnecting the city.
+        """
+        if n_cols < 2 or n_rows < 2:
+            raise ValueError("grid must be at least 2x2")
+        if not 0.0 <= edge_removal < 1.0:
+            raise ValueError("edge_removal must be in [0, 1)")
+        rng = rng or np.random.default_rng()
+
+        base = nx.grid_2d_graph(n_cols, n_rows)
+        mapping = {node: i for i, node in enumerate(sorted(base.nodes()))}
+        graph = nx.relabel_nodes(base, mapping)
+        positions = {}
+        for (col, row), node in mapping.items():
+            offset = rng.uniform(-jitter, jitter, size=2) * spacing
+            positions[node] = np.array([col * spacing, row * spacing]) + offset
+
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        n_remove = int(edge_removal * len(edges))
+        removed = 0
+        for u, v in edges:
+            if removed >= n_remove:
+                break
+            graph.remove_edge(u, v)
+            if nx.has_path(graph, u, v):
+                removed += 1
+            else:
+                graph.add_edge(u, v)
+
+        network = cls(graph, positions)
+        network._assign_lengths()
+        return network
+
+    def _assign_lengths(self) -> None:
+        for u, v in self.graph.edges():
+            length = float(np.linalg.norm(self.positions[u] - self.positions[v]))
+            self.graph[u][v]["length"] = length
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def nodes(self) -> List[int]:
+        return list(self.graph.nodes())
+
+    def node_positions(self) -> np.ndarray:
+        """Positions of all nodes in node-id order, ``(num_nodes, 2)``."""
+        return np.stack([self.positions[n] for n in sorted(self.graph.nodes())])
+
+    def shortest_path(self, origin: int, destination: int,
+                      weight: str = "length") -> List[int]:
+        """Dijkstra shortest path as a node list."""
+        return nx.shortest_path(self.graph, origin, destination, weight=weight)
+
+    def path_polyline(self, path: List[int]) -> np.ndarray:
+        """Node path → ``(n, 2)`` polyline of meter coordinates."""
+        if len(path) < 2:
+            raise ValueError("a path needs at least two nodes")
+        return np.stack([self.positions[n] for n in path])
+
+    def perturbed_shortest_path(self, origin: int, destination: int,
+                                rng: np.random.Generator,
+                                sigma: float = 0.3) -> List[int]:
+        """Shortest path under log-normally perturbed edge lengths.
+
+        Re-running with different draws yields plausible alternative
+        routes between the same origin and destination — the per-trip
+        route variation real traffic exhibits.
+        """
+        def weight(u, v, attrs):
+            return attrs["length"] * float(np.exp(sigma * rng.standard_normal()))
+
+        return nx.shortest_path(self.graph, origin, destination, weight=weight)
+
+    def random_route(self, rng: np.random.Generator,
+                     min_nodes: int = 4, max_tries: int = 100) -> List[int]:
+        """Sample an origin-destination shortest path with enough nodes.
+
+        Used by the demand model to seed the route catalogue; raises after
+        ``max_tries`` failed attempts (e.g. a degenerate network).
+        """
+        nodes = self.nodes
+        for _ in range(max_tries):
+            origin, destination = rng.choice(len(nodes), size=2, replace=False)
+            path = self.shortest_path(nodes[origin], nodes[destination])
+            if len(path) >= min_nodes:
+                return path
+        raise RuntimeError(
+            f"could not sample a route with >= {min_nodes} nodes "
+            f"in {max_tries} tries")

@@ -1,0 +1,36 @@
+"""Evaluation harness reproducing the paper's experiment protocols.
+
+* :mod:`most_similar` — Experiments 1–3 (Tables III, IV, V).
+* :mod:`cross_similarity` — cross-distance deviation (Table VI).
+* :mod:`knn_precision` — k-NN self-consistency (Figure 5).
+* :mod:`scalability` — query-time scaling (Figure 6).
+* :mod:`reporting` — paper-style text tables.
+"""
+
+from .ascii_chart import line_chart
+from .cross_similarity import cross_distance_deviation, experiment_cross_similarity
+from .knn_precision import (experiment_knn_precision, ground_truth_knn,
+                            knn_precision)
+from .most_similar import (MostSimilarSetup, build_setup, experiment_db_size,
+                           experiment_distortion, experiment_downsampling,
+                           mean_rank)
+from .reporting import format_table
+from .scalability import experiment_scalability, time_knn_queries
+
+__all__ = [
+    "MostSimilarSetup",
+    "build_setup",
+    "cross_distance_deviation",
+    "experiment_cross_similarity",
+    "experiment_db_size",
+    "experiment_distortion",
+    "experiment_downsampling",
+    "experiment_knn_precision",
+    "experiment_scalability",
+    "format_table",
+    "ground_truth_knn",
+    "knn_precision",
+    "line_chart",
+    "mean_rank",
+    "time_knn_queries",
+]

@@ -1,0 +1,113 @@
+"""ASCII line charts for the figure-style experiments.
+
+The paper's Figures 5–7 are line charts; the benches print their data as
+tables *and* as terminal-renderable charts so the shape (who is on top,
+where curves cross) is visible at a glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+#: Per-series plot markers, assigned in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    title: str,
+    x_values: Sequence[Number],
+    series: Dict[str, List[float]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render ``{name: [y per x]}`` as a multi-series ASCII line chart.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x positions (plotted with even spacing, labelled at the
+        first/last column).
+    logy:
+        Plot ``log10(y)`` — useful for the scalability figure where the
+        paper's claim is an order-of-magnitude gap.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values")
+        if logy and any(y <= 0 for y in ys):
+            raise ValueError(f"log scale requires positive values ({name!r})")
+
+    def transform(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    all_y = [transform(y) for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        previous = None
+        for i, y in enumerate(ys):
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = height - 1 - round(
+                (transform(y) - lo) / (hi - lo) * (height - 1))
+            if previous is not None:
+                _draw_segment(grid, previous, (row, col))
+            grid[row][col] = marker
+            previous = (row, col)
+
+    def y_tick(row: int) -> float:
+        value = hi - row * (hi - lo) / (height - 1)
+        return 10 ** value if logy else value
+
+    lines = [title]
+    if y_label:
+        lines.append(f"[y: {y_label}{' (log scale)' if logy else ''}]")
+    label_width = max(len(_fmt(y_tick(r))) for r in range(height))
+    for row in range(height):
+        label = (_fmt(y_tick(row)).rjust(label_width)
+                 if row % max(1, height // 4) == 0 or row == height - 1
+                 else " " * label_width)
+        lines.append(f"{label} |" + "".join(grid[row]))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    first, last = _fmt(x_values[0]), _fmt(x_values[-1])
+    gap = max(1, width - len(first) - len(last))
+    lines.append(" " * (label_width + 2) + first + " " * gap + last)
+    legend = "   ".join(f"{marker}={name}"
+                        for marker, name in zip(MARKERS, series))
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end) -> None:
+    """Connect consecutive points with light interpolation dots."""
+    (r0, c0), (r1, c1) = start, end
+    steps = max(abs(r1 - r0), abs(c1 - c0))
+    for s in range(1, steps):
+        r = round(r0 + (r1 - r0) * s / steps)
+        c = round(c0 + (c1 - c0) * s / steps)
+        if grid[r][c] == " ":
+            grid[r][c] = "."
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 10000):
+            return f"{value:.1e}"
+        return f"{value:g}"
+    if isinstance(value, int) and value >= 1000 and value % 1000 == 0:
+        return f"{value // 1000}k"
+    return str(value)

@@ -1,0 +1,79 @@
+"""Cross-similarity comparison (paper Section V-C2, Table VI).
+
+A good measure must not only recognize variants of the *same* route
+(self-similarity) — it must also preserve the distance between two
+*different* trajectories regardless of the sampling strategy.  The
+metric is the *cross-distance deviation*
+
+    | d(Ta(r), Ta'(r)) - d(Tb, Tb') |  /  d(Tb, Tb')
+
+where ``Tb`` and ``Tb'`` are two distinct original trajectories and
+``Ta(r)``, ``Ta'(r)`` their degraded variants at dropping (or
+distorting) rate ``r``.  Smaller is better.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.base import TrajectoryDistance
+from ..data.trajectory import Trajectory
+from ..data.transforms import distort, downsample
+
+
+def cross_distance_deviation(
+    measure: TrajectoryDistance,
+    pairs: Sequence[Tuple[Trajectory, Trajectory]],
+    rate: float,
+    mode: str = "dropping",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean cross-distance deviation at one degradation rate.
+
+    ``mode`` selects whether ``rate`` is a dropping rate (r1) or a
+    distorting rate (r2).  Pairs whose original distance is ~0 are
+    skipped (the deviation is undefined on them).
+    """
+    if mode not in ("dropping", "distorting"):
+        raise ValueError(f"mode must be 'dropping' or 'distorting', got {mode}")
+    rng = rng or np.random.default_rng()
+    deviations: List[float] = []
+    for tb, tb_prime in pairs:
+        base = measure.distance(tb, tb_prime)
+        if base <= 1e-9:
+            continue
+        if mode == "dropping":
+            ta = downsample(tb, rate, rng)
+            ta_prime = downsample(tb_prime, rate, rng)
+        else:
+            ta = distort(tb, rate, rng)
+            ta_prime = distort(tb_prime, rate, rng)
+        degraded = measure.distance(ta, ta_prime)
+        deviations.append(abs(degraded - base) / base)
+    if not deviations:
+        raise ValueError("no valid pair had a nonzero base distance")
+    return float(np.mean(deviations))
+
+
+def experiment_cross_similarity(
+    measures: Sequence[TrajectoryDistance],
+    trajectories: Sequence[Trajectory],
+    num_pairs: int,
+    rates: Sequence[float],
+    mode: str = "dropping",
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Table VI: deviation per measure per rate, over random trajectory pairs."""
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(trajectories), size=(num_pairs, 2))
+    indices = indices[indices[:, 0] != indices[:, 1]]
+    pairs = [(trajectories[i], trajectories[j]) for i, j in indices]
+    results: Dict[str, List[float]] = {m.name: [] for m in measures}
+    for rate in rates:
+        pair_rng = np.random.default_rng(seed + 1)
+        for measure in measures:
+            results[measure.name].append(
+                cross_distance_deviation(measure, pairs, rate, mode, pair_rng))
+    return results

@@ -1,0 +1,89 @@
+"""k-NN self-consistency precision (paper Section V-C3, Figure 5).
+
+Ground truth: each method's own k-NN results on the *clean* queries and
+database.  Queries and database are then degraded (down-sampled or
+distorted) and the k-NN search repeated; precision is the fraction of
+ground-truth neighbours recovered.  A robust measure should return
+nearly the same neighbours despite the degradation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import TrajectoryDistance
+from ..data.trajectory import Trajectory
+from ..data.transforms import degrade
+
+
+def ground_truth_knn(measure: TrajectoryDistance,
+                     queries: Sequence[Trajectory],
+                     database: Sequence[Trajectory],
+                     k: int) -> List[set]:
+    """Each query's clean k-NN set — the per-measure ground truth."""
+    return [set(measure.knn(query, database, k).tolist()) for query in queries]
+
+
+def knn_precision(
+    measure: TrajectoryDistance,
+    queries: Sequence[Trajectory],
+    database: Sequence[Trajectory],
+    k: int,
+    dropping_rate: float = 0.0,
+    distorting_rate: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    truth: Optional[List[set]] = None,
+) -> float:
+    """Mean precision of degraded k-NN against clean k-NN ground truth.
+
+    ``truth`` may carry precomputed :func:`ground_truth_knn` sets (it does
+    not depend on the degradation rate, so sweeps reuse it).
+    """
+    rng = rng or np.random.default_rng()
+    if truth is None:
+        truth = ground_truth_knn(measure, queries, database, k)
+    degraded_queries = [degrade(q, dropping_rate, distorting_rate, rng)
+                        for q in queries]
+    degraded_db = [degrade(t, dropping_rate, distorting_rate, rng)
+                   for t in database]
+    precisions: List[float] = []
+    for degraded_query, truth_set in zip(degraded_queries, truth):
+        found = set(measure.knn(degraded_query, degraded_db, k).tolist())
+        precisions.append(len(truth_set & found) / k)
+    return float(np.mean(precisions))
+
+
+def experiment_knn_precision(
+    measures: Sequence[TrajectoryDistance],
+    queries: Sequence[Trajectory],
+    database: Sequence[Trajectory],
+    ks: Sequence[int],
+    rates: Sequence[float],
+    mode: str = "dropping",
+    seed: int = 0,
+) -> Dict[int, Dict[str, List[float]]]:
+    """Figure 5: precision per k, per measure, per degradation rate.
+
+    Returns ``{k: {measure: [precision per rate]}}`` — one sub-figure per
+    k value, one series per measure, as in Figures 5a–5f.
+    """
+    if mode not in ("dropping", "distorting"):
+        raise ValueError(f"mode must be 'dropping' or 'distorting', got {mode}")
+    results: Dict[int, Dict[str, List[float]]] = {
+        k: {m.name: [] for m in measures} for k in ks}
+    for k in ks:
+        # Ground truth is rate-independent: compute once per (measure, k).
+        truths = {m.name: ground_truth_knn(m, queries, database, k)
+                  for m in measures}
+        for rate in rates:
+            r1 = rate if mode == "dropping" else 0.0
+            r2 = rate if mode == "distorting" else 0.0
+            for measure in measures:
+                precision = knn_precision(measure, queries, database, k,
+                                          dropping_rate=r1, distorting_rate=r2,
+                                          rng=np.random.default_rng(seed),
+                                          truth=truths[measure.name])
+                results[k][measure.name].append(precision)
+    return results

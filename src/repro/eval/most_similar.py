@@ -1,0 +1,141 @@
+"""Most-similar-trajectory-search experiments (paper Section V-C1).
+
+Protocol (Figure 4): every trajectory ``Tb`` is split into two
+sub-trajectories ``Ta`` (odd points) and ``Ta'`` (even points) that share
+the underlying route.  Queries are the ``Ta`` of a query set Q; the
+database is ``{Ta'}`` of Q plus ``{Ta'}`` of a filler set P.  A perfect
+measure ranks each query's counterpart first; the reported metric is the
+mean rank over all queries.
+
+Three experiments reuse the machinery:
+
+* Experiment 1 (Table III): vary the database size.
+* Experiment 2 (Table IV): down-sample queries and database with rate r1.
+* Experiment 3 (Table V): distort queries and database with rate r2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import TrajectoryDistance
+from ..data.trajectory import Trajectory
+from ..data.transforms import alternating_split, degrade
+
+
+@dataclass(frozen=True)
+class MostSimilarSetup:
+    """A materialized query/database instance of the Figure-4 protocol."""
+
+    queries: List[Trajectory]
+    database: List[Trajectory]
+    target_indices: np.ndarray  # database index of each query's counterpart
+
+
+def build_setup(
+    query_pool: Sequence[Trajectory],
+    filler_pool: Sequence[Trajectory],
+    num_queries: int,
+    dropping_rate: float = 0.0,
+    distorting_rate: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> MostSimilarSetup:
+    """Create queries DQ and database D'Q ∪ D'P, optionally degraded.
+
+    Degradation (r1/r2) is applied to queries *and* database entries,
+    matching Experiments 2 and 3.  Trajectories too short to split or
+    degrade safely are skipped.
+    """
+    rng = rng or np.random.default_rng()
+
+    def transform(traj: Trajectory) -> Trajectory:
+        return degrade(traj, dropping_rate, distorting_rate, rng)
+
+    queries: List[Trajectory] = []
+    database: List[Trajectory] = []
+    targets: List[int] = []
+    for traj in query_pool:
+        if len(queries) >= num_queries:
+            break
+        if len(traj) < 8:
+            continue
+        ta, ta_prime = alternating_split(traj)
+        queries.append(transform(ta))
+        targets.append(len(database))
+        database.append(transform(ta_prime))
+    if not queries:
+        raise ValueError("query pool produced no usable queries")
+    for traj in filler_pool:
+        if len(traj) < 8:
+            continue
+        _, ta_prime = alternating_split(traj)
+        database.append(transform(ta_prime))
+    return MostSimilarSetup(queries=queries, database=database,
+                            target_indices=np.asarray(targets))
+
+
+def mean_rank(measure: TrajectoryDistance, setup: MostSimilarSetup) -> float:
+    """Mean rank of the true counterpart over all queries (lower = better)."""
+    ranks = []
+    for query, target in zip(setup.queries, setup.target_indices):
+        ranks.append(measure.rank_of(query, setup.database, int(target)))
+    return float(np.mean(ranks))
+
+
+def experiment_db_size(
+    measures: Sequence[TrajectoryDistance],
+    query_pool: Sequence[Trajectory],
+    filler_pool: Sequence[Trajectory],
+    num_queries: int,
+    db_sizes: Sequence[int],
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Experiment 1 (Table III): mean rank as the database grows."""
+    results: Dict[str, List[float]] = {m.name: [] for m in measures}
+    for size in db_sizes:
+        rng = np.random.default_rng(seed)
+        setup = build_setup(query_pool, filler_pool[:size], num_queries, rng=rng)
+        for measure in measures:
+            results[measure.name].append(mean_rank(measure, setup))
+    return results
+
+
+def experiment_downsampling(
+    measures: Sequence[TrajectoryDistance],
+    query_pool: Sequence[Trajectory],
+    filler_pool: Sequence[Trajectory],
+    num_queries: int,
+    dropping_rates: Sequence[float],
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Experiment 2 (Table IV): mean rank as r1 grows (fixed database)."""
+    results: Dict[str, List[float]] = {m.name: [] for m in measures}
+    for r1 in dropping_rates:
+        rng = np.random.default_rng(seed)
+        setup = build_setup(query_pool, filler_pool, num_queries,
+                            dropping_rate=r1, rng=rng)
+        for measure in measures:
+            results[measure.name].append(mean_rank(measure, setup))
+    return results
+
+
+def experiment_distortion(
+    measures: Sequence[TrajectoryDistance],
+    query_pool: Sequence[Trajectory],
+    filler_pool: Sequence[Trajectory],
+    num_queries: int,
+    distorting_rates: Sequence[float],
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Experiment 3 (Table V): mean rank as r2 grows (fixed database)."""
+    results: Dict[str, List[float]] = {m.name: [] for m in measures}
+    for r2 in distorting_rates:
+        rng = np.random.default_rng(seed)
+        setup = build_setup(query_pool, filler_pool, num_queries,
+                            distorting_rate=r2, rng=rng)
+        for measure in measures:
+            results[measure.name].append(mean_rank(measure, setup))
+    return results

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(
+    title: str,
+    column_header: str,
+    columns: Sequence[Number],
+    rows: Dict[str, List[float]],
+    precision: int = 2,
+) -> str:
+    """Render ``{row_name: [value per column]}`` as an aligned text table.
+
+    Mirrors the layout of the paper's tables: one row per method, one
+    column per parameter value (database size, r1, r2, ...).
+    """
+    for name, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values for {len(columns)} columns")
+    col_labels = [_fmt_col(c) for c in columns]
+    name_width = max([len(column_header)] + [len(name) for name in rows])
+    widths = []
+    for j, label in enumerate(col_labels):
+        cell_width = max([len(label)] + [
+            len(f"{values[j]:.{precision}f}") for values in rows.values()])
+        widths.append(cell_width)
+
+    lines = [title]
+    header = column_header.ljust(name_width) + "  " + "  ".join(
+        label.rjust(w) for label, w in zip(col_labels, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows.items():
+        cells = "  ".join(f"{v:.{precision}f}".rjust(w)
+                          for v, w in zip(values, widths))
+        lines.append(name.ljust(name_width) + "  " + cells)
+    return "\n".join(lines)
+
+
+def _fmt_col(value: Number) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, int) and value >= 1000 and value % 1000 == 0:
+        return f"{value // 1000}k"
+    return str(value)

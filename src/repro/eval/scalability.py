@@ -1,0 +1,64 @@
+"""Scalability experiment (paper Section V-D, Figure 6).
+
+Measures mean k-NN query wall time as the target database grows.  For
+t2vec the database is encoded *offline* (as the paper does: "the
+encoding process can also be done offline"), so query time is the O(N·|v|)
+vector scan; the DP baselines pay their O(n²)-per-pair cost online.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import TrajectoryDistance
+from ..data.trajectory import Trajectory
+
+
+def time_knn_queries(
+    measure: TrajectoryDistance,
+    queries: Sequence[Trajectory],
+    database: Sequence[Trajectory],
+    k: int = 50,
+    warmup: Optional[Callable[[], None]] = None,
+) -> float:
+    """Mean seconds per k-NN query over the given database.
+
+    ``warmup`` runs once before timing — used to let encoder-based
+    measures build their (offline) vector caches so the timed section
+    reflects online query cost only.
+    """
+    if warmup is not None:
+        warmup()
+    start = time.perf_counter()
+    for query in queries:
+        measure.knn(query, database, k)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def experiment_scalability(
+    measures: Sequence[TrajectoryDistance],
+    queries: Sequence[Trajectory],
+    database: Sequence[Trajectory],
+    db_sizes: Sequence[int],
+    k: int = 50,
+) -> Dict[str, List[float]]:
+    """Figure 6: mean query seconds per measure per database size.
+
+    Encoder-based measures (anything exposing ``encode_many``) get their
+    database encodings precomputed outside the timed region.
+    """
+    results: Dict[str, List[float]] = {m.name: [] for m in measures}
+    for size in db_sizes:
+        db = list(database[:size])
+        for measure in measures:
+            warmup = None
+            encode_many = getattr(measure, "encode_many", None)
+            if callable(encode_many):
+                def warmup(db=db, fn=encode_many):
+                    fn(db)
+            results[measure.name].append(
+                time_knn_queries(measure, queries, db, k=k, warmup=warmup))
+    return results

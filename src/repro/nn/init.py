@@ -1,0 +1,44 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def uniform(rng: np.random.Generator, shape: Tuple[int, ...], scale: float) -> np.ndarray:
+    """Uniform initialization in ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for 2-D weights.
+
+    For non-2-D shapes, fan-in/fan-out default to the first and last axes.
+    """
+    fan_in = shape[0] if len(shape) > 0 else 1
+    fan_out = shape[-1] if len(shape) > 1 else 1
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: Tuple[int, int]) -> np.ndarray:
+    """Orthogonal initialization, the standard choice for recurrent weights."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

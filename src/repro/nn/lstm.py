@@ -1,0 +1,189 @@
+"""LSTM cell and stack (fused, hand-derived backward).
+
+The paper chooses GRU over LSTM because it is "as good as LSTM in
+sequence modeling tasks, while much more efficient to compute"
+(Section V-B, citing Chung et al. 2014).  We provide the LSTM anyway so
+that claim can be tested: :class:`~repro.core.encoder_decoder.ModelConfig`
+accepts ``rnn_type="lstm"`` and the ablation is one config flag away.
+
+Gate formulation (PyTorch order i, f, g, o):
+
+    i = sigmoid(W_ii x + b_ii + W_hi h + b_hi)
+    f = sigmoid(W_if x + b_if + W_hf h + b_hf)
+    g = tanh   (W_ig x + b_ig + W_hg h + b_hg)
+    o = sigmoid(W_io x + b_io + W_ho h + b_ho)
+    c' = f * c + i * g
+    h' = o * tanh(c')
+
+Like the GRU (see :mod:`repro.nn.rnn`), each step is a single fused
+autograd node for CPU speed; the numeric gradient check in the test
+suite pins the derivation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init
+from .layers import Dropout
+from .module import Module, Parameter
+from .rnn import _sigmoid
+from .tensor import Tensor, where_const
+
+
+def lstm_cell_forward(x: Tensor, h: Tensor, c: Tensor,
+                      w_ih: Tensor, w_hh: Tensor,
+                      b_ih: Tensor, b_hh: Tensor) -> Tuple[Tensor, Tensor]:
+    """Fused LSTM step returning ``(h', c')`` with an analytic backward."""
+    hidden = h.data.shape[1]
+    gates = x.data @ w_ih.data + b_ih.data + h.data @ w_hh.data + b_hh.data
+    i_gate = _sigmoid(gates[:, :hidden])
+    f_gate = _sigmoid(gates[:, hidden:2 * hidden])
+    g_gate = np.tanh(gates[:, 2 * hidden:3 * hidden])
+    o_gate = _sigmoid(gates[:, 3 * hidden:])
+    new_c = f_gate * c.data + i_gate * g_gate
+    tanh_c = np.tanh(new_c)
+    new_h = o_gate * tanh_c
+
+    parents = (x, h, c, w_ih, w_hh, b_ih, b_hh)
+    out_h = Tensor._make(new_h, parents, "lstm_cell_h")
+    out_c = Tensor._make(new_c, parents, "lstm_cell_c")
+
+    if out_h.requires_grad or out_c.requires_grad:
+        # The two outputs share one backward: gradients are staged on the
+        # output tensors and flushed when either backward fires.  Because
+        # autograd calls each node's backward exactly once (topological
+        # order) and both outputs share parents, we register separate
+        # closures that each push their own contribution.
+
+        def push(grad_h, grad_c_in):
+            grad_c_total = grad_c_in + grad_h * o_gate * (1.0 - tanh_c ** 2)
+            d_o = grad_h * tanh_c
+            d_f = grad_c_total * c.data
+            d_i = grad_c_total * g_gate
+            d_g = grad_c_total * i_gate
+            di_pre = d_i * i_gate * (1.0 - i_gate)
+            df_pre = d_f * f_gate * (1.0 - f_gate)
+            dg_pre = d_g * (1.0 - g_gate ** 2)
+            do_pre = d_o * o_gate * (1.0 - o_gate)
+            d_gates = np.concatenate([di_pre, df_pre, dg_pre, do_pre], axis=1)
+            if x.requires_grad:
+                x._accumulate(d_gates @ w_ih.data.T)
+            if h.requires_grad:
+                h._accumulate(d_gates @ w_hh.data.T)
+            if c.requires_grad:
+                c._accumulate(grad_c_total * f_gate)
+            if w_ih.requires_grad:
+                w_ih._accumulate(x.data.T @ d_gates)
+            if w_hh.requires_grad:
+                w_hh._accumulate(h.data.T @ d_gates)
+            if b_ih.requires_grad:
+                b_ih._accumulate(d_gates.sum(axis=0))
+            if b_hh.requires_grad:
+                b_hh._accumulate(d_gates.sum(axis=0))
+
+        def backward_h(grad):
+            push(grad, np.zeros_like(grad))
+
+        def backward_c(grad):
+            push(np.zeros_like(grad), grad)
+
+        out_h._backward = backward_h
+        out_c._backward = backward_c
+    return out_h, out_c
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate weights."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(init.xavier_uniform(rng, (input_size, 4 * hidden_size)))
+        self.w_hh = Parameter(np.concatenate(
+            [init.orthogonal(rng, (hidden_size, hidden_size)) for _ in range(4)],
+            axis=1,
+        ))
+        # Forget-gate bias of 1 is the classic stabilization.
+        b = np.zeros(4 * hidden_size)
+        b[hidden_size:2 * hidden_size] = 1.0
+        self.b_ih = Parameter(b)
+        self.b_hh = Parameter(init.zeros((4 * hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> Tuple[Tensor, Tensor]:
+        return lstm_cell_forward(x, h, c, self.w_ih, self.w_hh,
+                                 self.b_ih, self.b_hh)
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over per-step inputs; API mirrors :class:`GRU`.
+
+    ``forward`` returns ``(outputs, state)`` where ``state`` is a list of
+    per-layer ``(h, c)`` tuples.  For interchangeability with the GRU in
+    the encoder-decoder, :meth:`hidden_of` extracts only the ``h`` parts.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size,
+                     rng=rng)
+            for layer in range(num_layers)
+        ]
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def initial_state(self, batch_size: int) -> List[Tuple[Tensor, Tensor]]:
+        return [(Tensor(np.zeros((batch_size, self.hidden_size))),
+                 Tensor(np.zeros((batch_size, self.hidden_size))))
+                for _ in range(self.num_layers)]
+
+    def forward(
+        self,
+        steps: Sequence[Tensor],
+        h0: Optional[List[Tuple[Tensor, Tensor]]] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[List[Tensor], List[Tuple[Tensor, Tensor]]]:
+        if not steps:
+            raise ValueError("LSTM.forward requires at least one step")
+        batch = steps[0].shape[0]
+        state = list(h0) if h0 is not None else self.initial_state(batch)
+        if len(state) != self.num_layers:
+            raise ValueError(
+                f"h0 has {len(state)} layers, expected {self.num_layers}")
+        outputs: List[Tensor] = []
+        for t, x in enumerate(steps):
+            step_mask = None
+            if mask is not None:
+                row = np.asarray(mask[t], dtype=bool)
+                if not row.all():
+                    step_mask = row.reshape(batch, 1)
+            layer_input = x
+            for layer, cell in enumerate(self.cells):
+                if layer > 0:
+                    layer_input = self.dropout(layer_input)
+                h_prev, c_prev = state[layer]
+                new_h, new_c = cell(layer_input, h_prev, c_prev)
+                if step_mask is not None:
+                    new_h = where_const(step_mask, new_h, h_prev)
+                    new_c = where_const(step_mask, new_c, c_prev)
+                state[layer] = (new_h, new_c)
+                layer_input = new_h
+            outputs.append(state[-1][0])
+        return outputs, state
+
+    @staticmethod
+    def hidden_of(state: List[Tuple[Tensor, Tensor]]) -> List[Tensor]:
+        """Extract the ``h`` component per layer (GRU-compatible shape)."""
+        return [h for h, _ in state]

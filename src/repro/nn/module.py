@@ -1,0 +1,110 @@
+"""Parameter containers and the ``Module`` base class.
+
+Mirrors the familiar torch-style API (``parameters()``, ``zero_grad()``,
+``state_dict()`` / ``load_state_dict()``, ``train()`` / ``eval()``) on top
+of the numpy autograd engine in :mod:`repro.nn.tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, so ``state_dict`` and ``parameters`` work without any
+    registration boilerplate.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter / module discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield prefix + name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix + name + ".")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{prefix}{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{prefix}{name}.{i}", item
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------
+    # Training utilities
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

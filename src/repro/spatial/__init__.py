@@ -1,0 +1,32 @@
+"""Spatial substrate: projections, grids, and the hot-cell vocabulary.
+
+The paper discretizes the lon/lat plane into equal-size cells (tokens)
+and keeps only *hot* cells as the vocabulary (Section IV-B).  This
+package provides:
+
+* :class:`Projection` — lon/lat ↔ local metric coordinates.
+* :class:`Grid` — equal-size cell partitioning.
+* :class:`CellVocabulary` — hot cells, nearest-hot-cell tokenization, and
+  the spatial proximity kernels used by the losses and pretraining.
+"""
+
+from .geo import EARTH_RADIUS_M, Projection, bounding_box, euclidean, haversine
+from .grid import Grid
+from .proximity import ProximityVocabulary
+from .vocab import BOS, EOS, NUM_SPECIALS, PAD, UNK, CellVocabulary
+
+__all__ = [
+    "BOS",
+    "CellVocabulary",
+    "ProximityVocabulary",
+    "EARTH_RADIUS_M",
+    "EOS",
+    "Grid",
+    "NUM_SPECIALS",
+    "PAD",
+    "Projection",
+    "UNK",
+    "bounding_box",
+    "euclidean",
+    "haversine",
+]

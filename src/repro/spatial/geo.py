@@ -1,0 +1,91 @@
+"""Geodesy helpers: lon/lat ↔ local metric coordinates.
+
+The paper partitions space into equal-size cells measured in meters
+(default 100 m).  To do that on lon/lat data we project onto a local
+equirectangular plane anchored at a reference point — accurate to well
+under a meter at city scale, which is all trajectory gridding needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+EARTH_RADIUS_M = 6_371_000.0
+"""Mean Earth radius in meters."""
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Local equirectangular projection anchored at ``(lon0, lat0)``.
+
+    ``to_xy`` maps degrees to meters east/north of the anchor; ``to_lonlat``
+    inverts it.  Both accept ``(n, 2)`` arrays or single points.
+    """
+
+    lon0: float
+    lat0: float
+
+    @property
+    def _meters_per_deg_lon(self) -> float:
+        return np.pi / 180.0 * EARTH_RADIUS_M * np.cos(np.deg2rad(self.lat0))
+
+    @property
+    def _meters_per_deg_lat(self) -> float:
+        return np.pi / 180.0 * EARTH_RADIUS_M
+
+    def to_xy(self, lonlat: np.ndarray) -> np.ndarray:
+        lonlat = np.asarray(lonlat, dtype=float)
+        xy = np.empty_like(lonlat)
+        xy[..., 0] = (lonlat[..., 0] - self.lon0) * self._meters_per_deg_lon
+        xy[..., 1] = (lonlat[..., 1] - self.lat0) * self._meters_per_deg_lat
+        return xy
+
+    def to_lonlat(self, xy: np.ndarray) -> np.ndarray:
+        xy = np.asarray(xy, dtype=float)
+        lonlat = np.empty_like(xy)
+        lonlat[..., 0] = xy[..., 0] / self._meters_per_deg_lon + self.lon0
+        lonlat[..., 1] = xy[..., 1] / self._meters_per_deg_lat + self.lat0
+        return lonlat
+
+    @classmethod
+    def for_points(cls, lonlat: np.ndarray) -> "Projection":
+        """Anchor a projection at the centroid of a point cloud."""
+        lonlat = np.asarray(lonlat, dtype=float).reshape(-1, 2)
+        if lonlat.size == 0:
+            raise ValueError("cannot build a projection from zero points")
+        return cls(float(lonlat[:, 0].mean()), float(lonlat[:, 1].mean()))
+
+
+def haversine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Great-circle distance in meters between lon/lat points (broadcasting)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lon1, lat1 = np.deg2rad(a[..., 0]), np.deg2rad(a[..., 1])
+    lon2, lat2 = np.deg2rad(b[..., 0]), np.deg2rad(b[..., 1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(h))
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance between projected (meter) points (broadcasting)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return np.sqrt(((a - b) ** 2).sum(axis=-1))
+
+
+def bounding_box(points: np.ndarray, margin: float = 0.0) -> Tuple[float, float, float, float]:
+    """Return ``(min_x, min_y, max_x, max_y)`` of a point cloud with a margin."""
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    if points.size == 0:
+        raise ValueError("cannot compute a bounding box of zero points")
+    return (
+        float(points[:, 0].min() - margin),
+        float(points[:, 1].min() - margin),
+        float(points[:, 0].max() + margin),
+        float(points[:, 1].max() + margin),
+    )

@@ -1,0 +1,96 @@
+"""Equal-size cell partitioning of the plane (paper Section IV-B).
+
+A :class:`Grid` tiles a bounding box with square cells of ``cell_size``
+meters.  Cells are identified by a single integer id in row-major order
+(``id = row * n_cols + col``).  Points outside the box are clamped to the
+border cells — real GPS data always contains a few strays, and clamping
+matches the behaviour of production grid indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid:
+    """Uniform grid over ``[min_x, max_x) x [min_y, max_y)`` in meters."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    cell_size: float
+
+    def __post_init__(self):
+        if self.cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {self.cell_size}")
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError("grid bounds are empty")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_cols(self) -> int:
+        return max(1, int(np.ceil((self.max_x - self.min_x) / self.cell_size)))
+
+    @property
+    def n_rows(self) -> int:
+        return max(1, int(np.ceil((self.max_y - self.min_y) / self.cell_size)))
+
+    @property
+    def num_cells(self) -> int:
+        return self.n_rows * self.n_cols
+
+    # ------------------------------------------------------------------
+    # Point → cell
+    # ------------------------------------------------------------------
+    def cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(n, 2)`` (or single) points to cell ids, clamping to bounds."""
+        points = np.asarray(points, dtype=float)
+        cols = np.floor((points[..., 0] - self.min_x) / self.cell_size).astype(np.int64)
+        rows = np.floor((points[..., 1] - self.min_y) / self.cell_size).astype(np.int64)
+        cols = np.clip(cols, 0, self.n_cols - 1)
+        rows = np.clip(rows, 0, self.n_rows - 1)
+        return rows * self.n_cols + cols
+
+    def rowcol_of(self, cell_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        cell_ids = np.asarray(cell_ids, dtype=np.int64)
+        self._check_ids(cell_ids)
+        return cell_ids // self.n_cols, cell_ids % self.n_cols
+
+    def centroid(self, cell_ids: np.ndarray) -> np.ndarray:
+        """Centroid coordinates (meters) of cells; shape ``ids.shape + (2,)``."""
+        rows, cols = self.rowcol_of(cell_ids)
+        x = self.min_x + (cols + 0.5) * self.cell_size
+        y = self.min_y + (rows + 0.5) * self.cell_size
+        return np.stack([x, y], axis=-1)
+
+    def _check_ids(self, cell_ids: np.ndarray) -> None:
+        if cell_ids.size and (cell_ids.min() < 0 or cell_ids.max() >= self.num_cells):
+            raise IndexError(
+                f"cell id out of range [0, {self.num_cells}): "
+                f"min={cell_ids.min()}, max={cell_ids.max()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def covering(cls, points: np.ndarray, cell_size: float, margin: float = 0.0) -> "Grid":
+        """Build the smallest grid covering a point cloud (plus a margin)."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if points.size == 0:
+            raise ValueError("cannot build a grid over zero points")
+        return cls(
+            min_x=float(points[:, 0].min() - margin),
+            min_y=float(points[:, 1].min() - margin),
+            # Tiny epsilon keeps max-coordinate points inside the last cell.
+            max_x=float(points[:, 0].max() + margin + 1e-9),
+            max_y=float(points[:, 1].max() + margin + 1e-9),
+            cell_size=cell_size,
+        )

@@ -1,0 +1,66 @@
+"""Hot-cell vocabulary (paper Section IV-B).
+
+Cells hit by at least ``min_hits`` (δ) sample points form the vocabulary;
+every sample point is represented by its *nearest* hot cell, which both
+denoises isolated GPS errors and bounds the token space.
+
+The proximity-kernel machinery shared with the losses and pretraining
+lives in :class:`repro.spatial.proximity.ProximityVocabulary`; this class
+adds the grid-specific construction (hot-cell counting, cell-id mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .grid import Grid
+from .proximity import (BOS, EOS, NUM_SPECIALS, PAD, UNK,
+                        ProximityVocabulary)
+
+__all__ = ["BOS", "EOS", "NUM_SPECIALS", "PAD", "UNK", "CellVocabulary"]
+
+
+class CellVocabulary(ProximityVocabulary):
+    """Token vocabulary over the hot cells of a :class:`Grid`."""
+
+    def __init__(self, grid: Grid, hot_cells: np.ndarray,
+                 hit_counts: Optional[np.ndarray] = None):
+        hot_cells = np.asarray(hot_cells, dtype=np.int64)
+        if hot_cells.size == 0:
+            raise ValueError("vocabulary needs at least one hot cell")
+        if len(np.unique(hot_cells)) != len(hot_cells):
+            raise ValueError("hot cell ids must be unique")
+        self.grid = grid
+        self.hot_cells = hot_cells
+        self.hit_counts = (np.asarray(hit_counts, dtype=np.int64)
+                           if hit_counts is not None else None)
+        self._cell_to_token: Dict[int, int] = {
+            int(cell): NUM_SPECIALS + i for i, cell in enumerate(hot_cells)
+        }
+        super().__init__(grid.centroid(hot_cells))  # (num_hot, 2) meters
+
+    @classmethod
+    def build(cls, grid: Grid, points: np.ndarray, min_hits: int = 1) -> "CellVocabulary":
+        """Count point hits per cell and keep cells with ``>= min_hits``.
+
+        ``points`` is an ``(n, 2)`` array in grid (meter) coordinates —
+        typically every sample point of the training trajectories.
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        cell_ids = grid.cell_of(points)
+        cells, counts = np.unique(cell_ids, return_counts=True)
+        keep = counts >= min_hits
+        if not keep.any():
+            raise ValueError(
+                f"no cell reaches min_hits={min_hits}; densest cell has "
+                f"{counts.max() if counts.size else 0} hits"
+            )
+        cells, counts = cells[keep], counts[keep]
+        order = np.argsort(-counts, kind="stable")
+        return cls(grid, cells[order], counts[order])
+
+    def token_of_cell(self, cell_id: int) -> Optional[int]:
+        """Token of an exact cell id, or ``None`` if the cell is not hot."""
+        return self._cell_to_token.get(int(cell_id))

@@ -1,0 +1,16 @@
+"""Downstream tasks built on learned trajectory representations.
+
+The paper's conclusion (§VI) proposes using the representations for
+downstream analyses; this package implements the first of them —
+trajectory clustering — with its own k-means and cluster-quality metrics.
+"""
+
+from .clustering import (KMeans, cluster_purity, cluster_trajectories,
+                         normalized_mutual_information)
+
+__all__ = [
+    "KMeans",
+    "cluster_purity",
+    "cluster_trajectories",
+    "normalized_mutual_information",
+]

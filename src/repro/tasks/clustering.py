@@ -1,0 +1,162 @@
+"""Trajectory clustering on learned representations (paper §VI, item 1).
+
+Because t2vec reduces similarity search to Euclidean distance between
+vectors, clustering a trajectory archive becomes ordinary vector
+clustering — the use case the paper highlights as intractable for the
+O(n²) pairwise measures.  This module provides:
+
+* :class:`KMeans` — Lloyd's algorithm with k-means++ seeding and empty-
+  cluster reseeding, written from scratch on numpy.
+* :func:`cluster_purity` / :func:`normalized_mutual_information` —
+  agreement between a clustering and ground-truth labels (the synthetic
+  generator's route ids).
+* :func:`cluster_trajectories` — one-call convenience wiring a fitted
+  :class:`~repro.core.t2vec.T2Vec` to :class:`KMeans`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, n_clusters: int, max_iters: int = 100,
+                 tol: float = 1e-6, seed: int = 0):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iters = max_iters
+        self.tol = tol
+        self.seed = seed
+        self.centers: Optional[np.ndarray] = None
+        self.inertia: Optional[float] = None
+        self.iterations_run: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, vectors: np.ndarray) -> "KMeans":
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be (n, d), got {vectors.shape}")
+        if len(vectors) < self.n_clusters:
+            raise ValueError(
+                f"{len(vectors)} points cannot form {self.n_clusters} clusters")
+        rng = np.random.default_rng(self.seed)
+        centers = self._plus_plus_init(vectors, rng)
+        for iteration in range(self.max_iters):
+            labels = self._assign(vectors, centers)
+            new_centers = centers.copy()
+            for cluster in range(self.n_clusters):
+                members = vectors[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Reseed an empty cluster at the point farthest from
+                    # its current center (standard fix-up).
+                    dists = self._distances(vectors, centers).min(axis=1)
+                    new_centers[cluster] = vectors[int(dists.argmax())]
+            shift = float(np.sqrt(((new_centers - centers) ** 2).sum(axis=1)).max())
+            centers = new_centers
+            self.iterations_run = iteration + 1
+            if shift < self.tol:
+                break
+        self.centers = centers
+        labels = self._assign(vectors, centers)
+        self.inertia = float(((vectors - centers[labels]) ** 2).sum())
+        return self
+
+    def predict(self, vectors: np.ndarray) -> np.ndarray:
+        if self.centers is None:
+            raise RuntimeError("KMeans is not fitted")
+        return self._assign(np.asarray(vectors, dtype=float), self.centers)
+
+    def fit_predict(self, vectors: np.ndarray) -> np.ndarray:
+        return self.fit(vectors).predict(vectors)
+
+    # ------------------------------------------------------------------
+    def _plus_plus_init(self, vectors: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        n = len(vectors)
+        centers = [vectors[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            dists = self._distances(vectors, np.asarray(centers)).min(axis=1)
+            total = dists.sum()
+            if total <= 0:  # all points identical to a center
+                centers.append(vectors[rng.integers(n)])
+                continue
+            probs = dists / total
+            centers.append(vectors[rng.choice(n, p=probs)])
+        return np.asarray(centers)
+
+    @staticmethod
+    def _distances(vectors: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        diff = vectors[:, None, :] - centers[None, :, :]
+        return (diff ** 2).sum(axis=2)
+
+    def _assign(self, vectors: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        return self._distances(vectors, centers).argmin(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Cluster quality against ground-truth labels
+# ----------------------------------------------------------------------
+def cluster_purity(labels: Sequence[int], truth: Sequence[int]) -> float:
+    """Mean over clusters of the dominant ground-truth label's share."""
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ValueError("labels and truth must align")
+    if labels.size == 0:
+        raise ValueError("cannot score an empty clustering")
+    dominant = 0
+    for cluster in np.unique(labels):
+        members = truth[labels == cluster]
+        dominant += Counter(members.tolist()).most_common(1)[0][1]
+    return dominant / len(labels)
+
+
+def normalized_mutual_information(labels: Sequence[int],
+                                  truth: Sequence[int]) -> float:
+    """NMI in [0, 1]; 1 means the clustering matches the labels exactly."""
+    labels = np.asarray(labels)
+    truth = np.asarray(truth)
+    if labels.shape != truth.shape:
+        raise ValueError("labels and truth must align")
+    n = len(labels)
+    if n == 0:
+        raise ValueError("cannot score an empty clustering")
+
+    def entropy(values):
+        _, counts = np.unique(values, return_counts=True)
+        p = counts / n
+        return float(-(p * np.log(p)).sum())
+
+    h_labels = entropy(labels)
+    h_truth = entropy(truth)
+    if h_labels == 0.0 and h_truth == 0.0:
+        return 1.0
+    mutual = 0.0
+    for cluster in np.unique(labels):
+        mask = labels == cluster
+        p_cluster = mask.mean()
+        for label in np.unique(truth[mask]):
+            p_joint = ((labels == cluster) & (truth == label)).mean()
+            p_label = (truth == label).mean()
+            mutual += p_joint * np.log(p_joint / (p_cluster * p_label))
+    denom = np.sqrt(h_labels * h_truth)
+    return float(mutual / denom) if denom > 0 else 0.0
+
+
+def cluster_trajectories(model, trajectories, n_clusters: int,
+                         seed: int = 0) -> np.ndarray:
+    """Cluster trajectories by their t2vec representations.
+
+    ``model`` is any object with ``encode_many`` (a fitted
+    :class:`~repro.core.t2vec.T2Vec`); returns per-trajectory labels.
+    """
+    vectors = model.encode_many(trajectories)
+    return KMeans(n_clusters, seed=seed).fit_predict(vectors)

@@ -1,0 +1,51 @@
+"""Shared fixtures: a small synthetic city, vocabulary, and a tiny model.
+
+Everything here is deliberately small so the full suite runs in a couple
+of minutes on CPU; the benchmarks exercise realistic scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CityConfig, SyntheticCity
+from repro.spatial import CellVocabulary, Grid
+
+
+@pytest.fixture(scope="session")
+def city() -> SyntheticCity:
+    return SyntheticCity(CityConfig(
+        name="test-city", grid_cols=8, grid_rows=8, spacing=200.0,
+        num_routes=40, min_route_nodes=8, min_points=16, seed=123,
+    ))
+
+
+@pytest.fixture(scope="session")
+def trips(city):
+    return city.generate(80)
+
+
+@pytest.fixture(scope="session")
+def grid(city, trips) -> Grid:
+    return Grid.covering(city.all_points(trips), 100.0)
+
+
+@pytest.fixture(scope="session")
+def vocab(grid, city, trips) -> CellVocabulary:
+    return CellVocabulary.build(grid, city.all_points(trips), min_hits=3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def float64_tensors():
+    """Switch the autograd engine to float64 for numeric gradient checks."""
+    from repro.nn import get_default_dtype, set_default_dtype
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)

@@ -1,0 +1,68 @@
+"""Trajectory archive persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory
+from repro.data.archive import load_archive, save_archive
+
+
+def test_round_trip_preserves_everything(tmp_path, trips):
+    path = tmp_path / "archive.npz"
+    save_archive(path, trips[:10])
+    loaded = load_archive(path)
+    assert len(loaded) == 10
+    for original, restored in zip(trips[:10], loaded):
+        np.testing.assert_array_equal(restored.points, original.points)
+        np.testing.assert_array_equal(restored.timestamps, original.timestamps)
+        assert restored.traj_id == original.traj_id
+        assert restored.route_id == original.route_id
+
+
+def test_round_trip_without_optional_fields(tmp_path):
+    t = Trajectory(points=np.array([[0.0, 0.0], [1.0, 1.0]]))
+    path = tmp_path / "bare.npz"
+    save_archive(path, [t])
+    loaded = load_archive(path)[0]
+    assert loaded.timestamps is None
+    assert loaded.traj_id is None
+    assert loaded.route_id is None
+
+
+def test_mixed_timestamp_presence(tmp_path):
+    with_ts = Trajectory(points=np.zeros((3, 2)) + np.arange(3)[:, None],
+                         timestamps=np.array([0.0, 1.0, 2.0]))
+    without = Trajectory(points=np.ones((2, 2)))
+    path = tmp_path / "mixed.npz"
+    save_archive(path, [with_ts, without])
+    loaded = load_archive(path)
+    assert loaded[0].timestamps is not None
+    assert loaded[1].timestamps is None
+
+
+def test_empty_archive_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_archive(tmp_path / "empty.npz", [])
+
+
+def test_missing_suffix_resolved(tmp_path, trips):
+    path = tmp_path / "archive"
+    save_archive(path, trips[:2])
+    assert len(load_archive(path)) == 2
+
+
+def test_version_check(tmp_path, trips):
+    path = tmp_path / "archive.npz"
+    save_archive(path, trips[:1])
+    with np.load(path) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    payload["version"] = np.int64(999)
+    np.savez(path, **payload)
+    with pytest.raises(ValueError):
+        load_archive(path)
+
+
+def test_parent_directories_created(tmp_path, trips):
+    path = tmp_path / "a" / "b" / "archive.npz"
+    save_archive(path, trips[:1])
+    assert path.exists()

@@ -1,0 +1,75 @@
+"""ASCII line-chart rendering for the figure benches."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ascii_chart import MARKERS, line_chart
+
+
+def test_contains_title_series_markers_and_legend():
+    chart = line_chart("Figure X", [1, 2, 3],
+                       {"t2vec": [1.0, 2.0, 3.0], "EDR": [3.0, 2.0, 1.0]})
+    assert "Figure X" in chart
+    assert "o=t2vec" in chart and "x=EDR" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_extremes_placed_on_top_and_bottom_rows():
+    chart = line_chart("t", [0, 1], {"s": [0.0, 10.0]})
+    rows = [line for line in chart.splitlines() if "|" in line]
+    assert "o" in rows[0]      # max lands on the top plot row
+    assert "o" in rows[-1]     # min on the bottom plot row
+
+
+def test_x_axis_labels_present():
+    chart = line_chart("t", [100, 800], {"s": [1.0, 2.0]})
+    assert "100" in chart and "800" in chart
+
+
+def test_thousands_abbreviated():
+    chart = line_chart("t", [20000, 100000], {"s": [1.0, 2.0]})
+    assert "20k" in chart and "100k" in chart
+
+
+def test_log_scale_orders_magnitudes():
+    chart = line_chart("t", [1, 2, 3], {"s": [0.001, 1.0, 1000.0]},
+                       logy=True, height=9)
+    rows = [line for line in chart.splitlines() if "|" in line]
+    top = next(i for i, r in enumerate(rows) if "o" in r)
+    bottom = max(i for i, r in enumerate(rows) if "o" in r)
+    # On a log axis the three points are evenly spread, so the middle
+    # point sits near the middle row.
+    middle_rows = [i for i, r in enumerate(rows) if "o" in r]
+    assert len(middle_rows) == 3
+    assert abs(middle_rows[1] - (top + bottom) / 2) <= 1
+
+
+def test_log_scale_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        line_chart("t", [1], {"s": [0.0]}, logy=True)
+
+
+def test_flat_series_renders_without_dividing_by_zero():
+    chart = line_chart("t", [1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+    assert "o" in chart
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        line_chart("t", [1, 2], {})
+    with pytest.raises(ValueError):
+        line_chart("t", [1, 2], {"s": [1.0]})
+    too_many = {f"s{i}": [1.0] for i in range(len(MARKERS) + 1)}
+    with pytest.raises(ValueError):
+        line_chart("t", [1], too_many)
+
+
+def test_segments_interpolated_between_points():
+    chart = line_chart("t", list(range(10)),
+                       {"s": list(np.linspace(0, 100, 10))}, width=40)
+    assert "." in chart  # connecting dots drawn
+
+
+def test_single_point_series():
+    chart = line_chart("t", [5], {"s": [2.0]})
+    assert "o" in chart

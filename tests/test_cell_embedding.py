@@ -1,0 +1,75 @@
+"""Cell pretraining (Algorithm 1): spatial structure in the embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.core import CellEmbeddingConfig, CellEmbeddingTrainer
+from repro.spatial import NUM_SPECIALS
+
+
+@pytest.fixture(scope="module")
+def trained(vocab):
+    trainer = CellEmbeddingTrainer(vocab, CellEmbeddingConfig(
+        dim=16, context_size=6, k_nearest=8, epochs=4, seed=0))
+    before = trainer.loss()
+    table = trainer.train()
+    return trainer, table, before
+
+
+def test_output_shape(vocab, trained):
+    _, table, _ = trained
+    assert table.shape == (vocab.size, 16)
+
+
+def test_training_reduces_objective(trained):
+    trainer, _, before = trained
+    after = trainer.loss()
+    assert after < before
+
+
+def test_sample_contexts_alignment(vocab):
+    trainer = CellEmbeddingTrainer(vocab, CellEmbeddingConfig(
+        dim=8, context_size=4, k_nearest=6, seed=1))
+    centers, contexts = trainer.sample_contexts()
+    assert len(centers) == len(contexts) == vocab.num_hot_cells * 4
+    assert centers.min() >= NUM_SPECIALS
+    assert contexts.min() >= NUM_SPECIALS
+    assert contexts.max() < vocab.size
+
+
+def test_contexts_are_spatially_close(vocab):
+    """Eq. 8: sampled contexts come from the K nearest cells."""
+    trainer = CellEmbeddingTrainer(vocab, CellEmbeddingConfig(
+        dim=8, context_size=8, k_nearest=6, theta=100.0, seed=2))
+    centers, contexts = trainer.sample_contexts()
+    dists = vocab.token_distance(centers, contexts)
+    knn_tokens, knn_dists = vocab.knn_table(6)
+    assert dists.max() <= knn_dists.max() + 1e-9
+
+
+def test_close_cells_get_closer_embeddings_than_far_cells(vocab, trained):
+    """The point of CL: embedding distance correlates with spatial distance."""
+    _, table, _ = trained
+    hot = np.arange(vocab.num_hot_cells) + NUM_SPECIALS
+    rng = np.random.default_rng(3)
+    sample = rng.choice(hot, size=min(40, len(hot)), replace=False)
+
+    knn_tokens, _ = vocab.knn_table(5)
+    near_sims, far_sims = [], []
+    for token in sample:
+        neighbours = knn_tokens[token - NUM_SPECIALS, 1:]
+        far = hot[rng.integers(0, len(hot), size=4)]
+        vec = table[token]
+        near_sims.append(np.mean([_cos(vec, table[n]) for n in neighbours]))
+        far_sims.append(np.mean([_cos(vec, table[f]) for f in far]))
+    assert np.mean(near_sims) > np.mean(far_sims) + 0.05
+
+
+def _cos(a, b):
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+
+def test_deterministic_given_seed(vocab):
+    a = CellEmbeddingTrainer(vocab, CellEmbeddingConfig(dim=8, epochs=1, seed=9))
+    b = CellEmbeddingTrainer(vocab, CellEmbeddingConfig(dim=8, epochs=1, seed=9))
+    np.testing.assert_array_equal(a.train(), b.train())

@@ -1,0 +1,88 @@
+"""CLI workflows end-to-end at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_archive, save_archive
+
+
+@pytest.fixture(scope="module")
+def archive_path(tmp_path_factory, trips):
+    path = tmp_path_factory.mktemp("cli") / "trips.npz"
+    save_archive(path, trips[:40])
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, archive_path):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main(["train", "--data", str(archive_path), "--out", str(path),
+                 "--hidden", "16", "--epochs", "2", "--min-hits", "3",
+                 "--batch-size", "64"])
+    assert code == 0
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_archive(tmp_path, capsys):
+    out = tmp_path / "gen.npz"
+    code = main(["generate", "--city", "porto", "--trips", "10",
+                 "--out", str(out)])
+    assert code == 0
+    assert "10 trips" in capsys.readouterr().out
+    assert len(load_archive(out)) == 10
+
+
+def test_generate_harbin(tmp_path):
+    out = tmp_path / "harbin.npz"
+    assert main(["generate", "--city", "harbin", "--trips", "5",
+                 "--out", str(out)]) == 0
+    assert len(load_archive(out)) == 5
+
+
+def test_train_reports_and_saves(model_path, capsys):
+    # model_path fixture already ran train; re-check the file loads.
+    from repro.core import T2Vec
+    model = T2Vec.load(model_path)
+    assert model.vocab.size > 4
+
+
+def test_encode_writes_vectors(tmp_path, model_path, archive_path, capsys):
+    out = tmp_path / "vectors.npz"
+    code = main(["encode", "--model", str(model_path),
+                 "--data", str(archive_path), "--out", str(out)])
+    assert code == 0
+    with np.load(out) as data:
+        vectors = data["vectors"]
+    assert vectors.shape == (40, 16)
+
+
+def test_knn_prints_ranked_list(model_path, archive_path, capsys):
+    code = main(["knn", "--model", str(model_path),
+                 "--data", str(archive_path), "--query", "0", "--k", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) == 4  # header + 3 rows
+    # The query itself is its own nearest neighbour at distance ~0.
+    first = lines[1].split()
+    assert first[0] == "1" and first[1] == "0"
+
+
+def test_knn_rejects_bad_index(model_path, archive_path, capsys):
+    code = main(["knn", "--model", str(model_path),
+                 "--data", str(archive_path), "--query", "999"])
+    assert code == 2
+
+
+def test_evaluate_reports_mean_rank(model_path, archive_path, capsys):
+    code = main(["evaluate", "--model", str(model_path),
+                 "--data", str(archive_path), "--queries", "5",
+                 "--dropping-rate", "0.4"])
+    assert code == 0
+    assert "mean rank" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""k-means and cluster-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import (KMeans, cluster_purity, cluster_trajectories,
+                         normalized_mutual_information)
+
+
+def blobs(rng, centers, per_cluster=30, spread=0.3):
+    points, labels = [], []
+    for i, center in enumerate(centers):
+        points.append(center + spread * rng.standard_normal((per_cluster, 2)))
+        labels += [i] * per_cluster
+    return np.concatenate(points), np.array(labels)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        vectors, truth = blobs(rng, [np.zeros(2), np.array([10.0, 0]),
+                                     np.array([0, 10.0])])
+        labels = KMeans(3, seed=1).fit_predict(vectors)
+        assert cluster_purity(labels, truth) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(1)
+        vectors, _ = blobs(rng, [np.zeros(2), np.array([5.0, 5.0])])
+        km2 = KMeans(2, seed=0).fit(vectors)
+        km4 = KMeans(4, seed=0).fit(vectors)
+        assert km4.inertia < km2.inertia
+
+    def test_predict_matches_fit_assignment(self):
+        rng = np.random.default_rng(2)
+        vectors, _ = blobs(rng, [np.zeros(2), np.array([8.0, 0])])
+        km = KMeans(2, seed=0).fit(vectors)
+        np.testing.assert_array_equal(km.predict(vectors),
+                                      km.fit_predict(vectors))
+
+    def test_converges_and_reports_iterations(self):
+        rng = np.random.default_rng(3)
+        vectors, _ = blobs(rng, [np.zeros(2), np.array([20.0, 0])])
+        km = KMeans(2, max_iters=50, seed=0).fit(vectors)
+        assert 1 <= km.iterations_run <= 50
+
+    def test_handles_duplicate_points(self):
+        vectors = np.zeros((10, 3))
+        km = KMeans(2, seed=0).fit(vectors)
+        assert km.inertia == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+
+class TestMetrics:
+    def test_perfect_clustering(self):
+        truth = [0, 0, 1, 1, 2, 2]
+        assert cluster_purity(truth, truth) == 1.0
+        assert normalized_mutual_information(truth, truth) == pytest.approx(1.0)
+
+    def test_label_permutation_invariance(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        assert cluster_purity(permuted, truth) == 1.0
+        assert normalized_mutual_information(permuted, truth) == pytest.approx(1.0)
+
+    def test_single_cluster_purity_is_dominant_share(self):
+        labels = np.zeros(10, dtype=int)
+        truth = np.array([0] * 7 + [1] * 3)
+        assert cluster_purity(labels, truth) == pytest.approx(0.7)
+
+    def test_independent_labels_low_nmi(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, 4000)
+        truth = rng.integers(0, 4, 4000)
+        assert normalized_mutual_information(labels, truth) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_purity([0, 1], [0])
+        with pytest.raises(ValueError):
+            normalized_mutual_information([], [])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+def test_nmi_bounds_property(truth):
+    labels = list(range(len(truth)))  # singleton clusters
+    value = normalized_mutual_information(labels, truth)
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+def test_cluster_trajectories_uses_encoder(trips):
+    class FakeEncoder:
+        def encode_many(self, trajectories):
+            # Embed by route id so clustering is trivial.
+            return np.array([[t.route_id, 0.0] for t in trajectories])
+
+    subset = trips[:30]
+    n = min(5, len({t.route_id for t in subset}))
+    labels = cluster_trajectories(FakeEncoder(), subset, n_clusters=n)
+    assert len(labels) == len(subset)

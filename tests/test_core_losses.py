@@ -1,0 +1,101 @@
+"""sequence_loss wiring: L1/L2/L3 over real decoder states."""
+
+import numpy as np
+import pytest
+
+from repro.core import EncoderDecoder, LossSpec, ModelConfig, sequence_loss
+from repro.data import PairDataset, build_training_pairs
+
+
+@pytest.fixture(scope="module")
+def setup(vocab, trips):
+    rng = np.random.default_rng(0)
+    pairs = build_training_pairs(trips[:3], dropping_rates=(0.0, 0.4),
+                                 distorting_rates=(0.0,), rng=rng)
+    dataset = PairDataset(pairs, vocab)
+    batch = next(dataset.batches(6, rng, shuffle=False))
+    model = EncoderDecoder(ModelConfig(vocab.size, 16, 16, num_layers=1,
+                                       dropout=0.0, seed=0))
+    _, state = model.encode(batch.src, batch.src_mask)
+    hidden = model.decode(batch.tgt_in, state, batch.tgt_mask)
+    return model, batch, hidden
+
+
+@pytest.mark.parametrize("kind", ["L1", "L2", "L3"])
+def test_all_loss_kinds_finite_and_positive(setup, vocab, kind):
+    model, batch, hidden = setup
+    spec = LossSpec(kind=kind, k_nearest=6, theta=100.0, noise=16)
+    loss = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask,
+                         vocab, spec, np.random.default_rng(0))
+    value = loss.item()
+    assert np.isfinite(value)
+    assert value > 0
+
+
+def test_l2_approaches_l1_for_tiny_theta(setup, vocab):
+    """Paper: theta -> 0 reduces the proximity loss to NLL."""
+    model, batch, hidden = setup
+    l1 = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask, vocab,
+                       LossSpec(kind="L1")).item()
+    l2 = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask, vocab,
+                       LossSpec(kind="L2", theta=1e-3)).item()
+    assert l2 == pytest.approx(l1, rel=1e-4)
+
+
+def test_l3_close_to_l2_with_many_candidates(setup, vocab):
+    """With K covering the vocabulary and large noise, L3 estimates L2."""
+    model, batch, hidden = setup
+    l2 = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask, vocab,
+                       LossSpec(kind="L2", theta=100.0)).item()
+    spec = LossSpec(kind="L3", k_nearest=vocab.num_hot_cells,
+                    theta=100.0, noise=max(1, vocab.size))
+    l3 = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask, vocab,
+                       spec, np.random.default_rng(0)).item()
+    assert l3 == pytest.approx(l2, rel=0.05)
+
+
+def test_loss_ignores_padding(setup, vocab):
+    """Appending padded rows must not change the loss."""
+    model, batch, hidden = setup
+    spec = LossSpec(kind="L1")
+    base = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask,
+                         vocab, spec).item()
+    # Duplicate hidden rows but mark the duplicates as padding.
+    from repro.nn import concat
+    doubled = concat([hidden, hidden], axis=0)
+    targets = np.concatenate([batch.tgt_out.reshape(-1),
+                              batch.tgt_out.reshape(-1)])
+    mask = np.concatenate([batch.tgt_mask.reshape(-1),
+                           np.zeros(batch.tgt_mask.size)])
+    padded = sequence_loss(model, doubled, targets, mask, vocab, spec).item()
+    assert padded == pytest.approx(base, rel=1e-6)
+
+
+def test_gradients_flow_to_all_parameters(setup, vocab):
+    model, batch, hidden = setup
+    model.zero_grad()
+    spec = LossSpec(kind="L3", k_nearest=6, noise=16)
+    loss = sequence_loss(model, hidden, batch.tgt_out, batch.tgt_mask,
+                         vocab, spec, np.random.default_rng(0))
+    loss.backward()
+    grads = {name: p.grad for name, p in model.named_parameters()}
+    assert grads["proj_weight"] is not None
+    assert grads["embedding.weight"] is not None
+    assert grads["encoder.cells.0.w_hh"] is not None
+    assert np.abs(grads["encoder.cells.0.w_hh"]).sum() > 0
+
+
+def test_empty_mask_raises(setup, vocab):
+    model, batch, hidden = setup
+    with pytest.raises(ValueError):
+        sequence_loss(model, hidden, batch.tgt_out,
+                      np.zeros_like(batch.tgt_mask), vocab, LossSpec(kind="L1"))
+
+
+def test_invalid_loss_kind_rejected():
+    with pytest.raises(ValueError):
+        LossSpec(kind="L4")
+    with pytest.raises(ValueError):
+        LossSpec(k_nearest=0)
+    with pytest.raises(ValueError):
+        LossSpec(noise=0)

@@ -1,0 +1,84 @@
+"""DISSIM: integral-of-distance measure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DISSIM
+from repro.data import Trajectory
+
+
+def moving_point(xs, ts=None):
+    pts = np.stack([np.asarray(xs, dtype=float),
+                    np.zeros(len(xs))], axis=1)
+    return Trajectory(points=pts, timestamps=ts)
+
+
+def test_identical_trajectories_zero():
+    t = moving_point([0, 10, 20], np.array([0.0, 1.0, 2.0]))
+    assert DISSIM("absolute").distance(t, t) == pytest.approx(0.0)
+
+
+def test_parallel_offset_integrates_constant_distance():
+    a = moving_point([0, 10, 20], np.array([0.0, 1.0, 2.0]))
+    b = Trajectory(points=a.points + np.array([0.0, 5.0]),
+                   timestamps=a.timestamps)
+    # constant 5 m gap over 2 s -> integral 10.
+    assert DISSIM("absolute").distance(a, b) == pytest.approx(10.0)
+
+
+def test_rescale_mode_averages_over_unit_domain():
+    a = moving_point([0, 10, 20], np.array([0.0, 1.0, 2.0]))
+    b = Trajectory(points=a.points + np.array([0.0, 5.0]),
+                   timestamps=np.array([0.0, 50.0, 100.0]))  # much slower
+    # Rescaled to [0, 1] both traverse the same path: constant 5 m gap.
+    assert DISSIM("rescale").distance(a, b) == pytest.approx(5.0)
+
+
+def test_rescale_works_without_timestamps():
+    a = moving_point([0, 10, 20])
+    b = moving_point([0, 5, 10, 15, 20])
+    assert DISSIM("rescale").distance(a, b) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_absolute_requires_timestamps():
+    a = moving_point([0, 10])
+    b = moving_point([0, 10], np.array([0.0, 1.0]))
+    with pytest.raises(ValueError):
+        DISSIM("absolute").distance(a, b)
+
+
+def test_absolute_rejects_disjoint_windows():
+    a = moving_point([0, 10], np.array([0.0, 1.0]))
+    b = moving_point([0, 10], np.array([5.0, 6.0]))
+    with pytest.raises(ValueError):
+        DISSIM("absolute").distance(a, b)
+
+
+def test_symmetry(trips):
+    d = DISSIM("rescale")
+    assert d.distance(trips[0], trips[1]) == pytest.approx(
+        d.distance(trips[1], trips[0]), rel=1e-9)
+
+
+def test_distance_to_many_matches_loop(trips):
+    d = DISSIM("rescale")
+    batched = d.distance_to_many(trips[0], trips[1:5])
+    singles = [d.distance(trips[0], t) for t in trips[1:5]]
+    np.testing.assert_allclose(batched, singles)
+
+
+def test_invalid_align_mode():
+    with pytest.raises(ValueError):
+        DISSIM("fuzzy")
+
+
+def test_denser_sampling_converges():
+    """Refining one trajectory's sampling leaves the integral stable."""
+    ts = np.linspace(0, 2, 5)
+    a = moving_point(np.linspace(0, 20, 5), ts)
+    fine_ts = np.linspace(0, 2, 41)
+    b = Trajectory(points=np.stack([np.linspace(0, 20, 41),
+                                    np.full(41, 3.0)], axis=1),
+                   timestamps=fine_ts)
+    coarse = DISSIM("absolute").distance(a, b)
+    assert coarse == pytest.approx(6.0, rel=1e-6)  # 3 m gap over 2 s

@@ -1,0 +1,178 @@
+"""Evaluation harness: protocols behave correctly on oracle measures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EDR
+from repro.baselines.base import TrajectoryDistance
+from repro.data import Trajectory
+from repro.eval import (build_setup, cross_distance_deviation,
+                        experiment_cross_similarity, experiment_db_size,
+                        experiment_downsampling, experiment_knn_precision,
+                        experiment_scalability, format_table, knn_precision,
+                        mean_rank, time_knn_queries)
+
+
+class StartPointDistance(TrajectoryDistance):
+    """Oracle-ish measure: distance between start points (degradation-proof
+    because the transforms preserve the first sample point)."""
+
+    name = "start"
+
+    def distance(self, a, b):
+        return float(np.linalg.norm(a.points[0] - b.points[0]))
+
+
+class ConstantDistance(TrajectoryDistance):
+    """Pathological measure: everything is equally far."""
+
+    name = "const"
+
+    def distance(self, a, b):
+        return 1.0
+
+
+class TestBuildSetup:
+    def test_counts_and_targets(self, trips, rng):
+        setup = build_setup(trips[:10], trips[10:30], num_queries=5, rng=rng)
+        assert len(setup.queries) == 5
+        assert len(setup.database) == 5 + 20
+        np.testing.assert_array_equal(setup.target_indices, np.arange(5))
+
+    def test_counterpart_shares_route(self, trips, rng):
+        setup = build_setup(trips[:3], [], num_queries=3, rng=rng)
+        for q, t in zip(setup.queries, setup.target_indices):
+            assert q.route_id == setup.database[t].route_id
+
+    def test_degradation_applied(self, trips, rng):
+        clean = build_setup(trips[:5], [], 5, rng=np.random.default_rng(0))
+        dropped = build_setup(trips[:5], [], 5, dropping_rate=0.5,
+                              rng=np.random.default_rng(0))
+        assert sum(len(q) for q in dropped.queries) < sum(
+            len(q) for q in clean.queries)
+
+    def test_empty_pool_raises(self, rng):
+        with pytest.raises(ValueError):
+            build_setup([], [], 5, rng=rng)
+
+
+class TestMeanRank:
+    def test_oracle_measure_ranks_first(self, trips, rng):
+        setup = build_setup(trips[:8], trips[20:60], num_queries=8, rng=rng)
+        # Start points of counterparts are near-coincident (the split keeps
+        # point 0 in Ta; Ta' starts one GPS-noise-jittered sample later),
+        # so the oracle ranks far better than the random ~24.
+        assert mean_rank(StartPointDistance(), setup) < 6.0
+
+    def test_constant_measure_ranks_first_by_tie_rule(self, trips, rng):
+        setup = build_setup(trips[:4], trips[20:40], num_queries=4, rng=rng)
+        # Optimistic tie handling: all distances equal -> rank 1.
+        assert mean_rank(ConstantDistance(), setup) == 1.0
+
+
+def test_experiment_db_size_rows(trips):
+    results = experiment_db_size([StartPointDistance()], trips[:5],
+                                 trips[10:60], num_queries=5,
+                                 db_sizes=[10, 30])
+    assert list(results) == ["start"]
+    assert len(results["start"]) == 2
+    # Larger database can only push the counterpart down (or equal).
+    assert results["start"][1] >= results["start"][0] - 1e-9
+
+
+def test_experiment_downsampling_shape(trips):
+    results = experiment_downsampling([StartPointDistance()], trips[:5],
+                                      trips[10:30], 5, [0.0, 0.5])
+    assert len(results["start"]) == 2
+
+
+def test_experiment_distortion_runs(trips):
+    from repro.eval import experiment_distortion
+    results = experiment_distortion([StartPointDistance()], trips[:5],
+                                    trips[10:30], 5, [0.0, 0.4])
+    assert len(results["start"]) == 2
+
+
+class TestCrossSimilarity:
+    def test_invariant_measure_zero_deviation(self, trips, rng):
+        pairs = [(trips[0], trips[1]), (trips[2], trips[3])]
+        dev = cross_distance_deviation(StartPointDistance(), pairs, 0.5,
+                                       "dropping", rng)
+        assert dev == pytest.approx(0.0, abs=1e-12)
+
+    def test_distortion_mode_moves_points(self, trips, rng):
+        pairs = [(trips[0], trips[1])]
+        dev = cross_distance_deviation(StartPointDistance(), pairs, 1.0,
+                                       "distorting", rng)
+        assert dev > 0.0
+
+    def test_invalid_mode(self, trips, rng):
+        with pytest.raises(ValueError):
+            cross_distance_deviation(StartPointDistance(),
+                                     [(trips[0], trips[1])], 0.5, "bogus", rng)
+
+    def test_experiment_shape(self, trips):
+        results = experiment_cross_similarity(
+            [StartPointDistance()], trips[:20], num_pairs=8,
+            rates=[0.2, 0.4], mode="dropping")
+        assert len(results["start"]) == 2
+
+
+class TestKnnPrecision:
+    def test_perfect_at_zero_degradation(self, trips, rng):
+        precision = knn_precision(EDR(100.0), trips[:4], trips[10:40], k=5,
+                                  rng=rng)
+        assert precision == 1.0
+
+    def test_degradation_cannot_exceed_one(self, trips, rng):
+        precision = knn_precision(EDR(100.0), trips[:4], trips[10:40], k=5,
+                                  dropping_rate=0.5, rng=rng)
+        assert 0.0 <= precision <= 1.0
+
+    def test_experiment_structure(self, trips):
+        results = experiment_knn_precision(
+            [StartPointDistance()], trips[:3], trips[10:40],
+            ks=[2, 3], rates=[0.0, 0.5], mode="dropping")
+        assert set(results) == {2, 3}
+        assert len(results[2]["start"]) == 2
+        # Rate 0 must give perfect precision.
+        assert results[2]["start"][0] == 1.0
+
+    def test_invalid_mode(self, trips):
+        with pytest.raises(ValueError):
+            experiment_knn_precision([StartPointDistance()], trips[:2],
+                                     trips[5:15], ks=[2], rates=[0.0],
+                                     mode="bogus")
+
+
+class TestScalability:
+    def test_timings_positive_and_shaped(self, trips):
+        results = experiment_scalability([StartPointDistance()], trips[:3],
+                                         trips[5:45], db_sizes=[10, 40], k=3)
+        times = results["start"]
+        assert len(times) == 2
+        assert all(t > 0 for t in times)
+
+    def test_time_knn_queries_warmup_called(self, trips):
+        called = []
+        time_knn_queries(StartPointDistance(), trips[:2], trips[5:15], k=2,
+                         warmup=lambda: called.append(1))
+        assert called == [1]
+
+
+class TestReporting:
+    def test_format_table_contains_everything(self):
+        text = format_table("Table X", "db size", [20000, 40000],
+                            {"t2vec": [2.3, 3.45], "EDR": [25.73, 50.7]})
+        assert "Table X" in text
+        assert "20k" in text and "40k" in text
+        assert "t2vec" in text and "EDR" in text
+        assert "3.45" in text
+
+    def test_format_table_validates_row_length(self):
+        with pytest.raises(ValueError):
+            format_table("T", "c", [1, 2], {"x": [1.0]})
+
+    def test_format_table_float_columns(self):
+        text = format_table("T", "r1", [0.2, 0.4], {"m": [1.0, 2.0]})
+        assert "0.2" in text and "0.4" in text

@@ -1,0 +1,95 @@
+"""Synthetic city trip generator: the Porto/Harbin substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data import (CityConfig, SyntheticCity, dataset_statistics,
+                        harbin_like, porto_like)
+
+
+def test_generate_respects_min_points(city, trips):
+    assert all(len(t) >= city.config.min_points for t in trips)
+
+
+def test_trips_have_route_ids_and_timestamps(trips):
+    for trip in trips[:10]:
+        assert trip.route_id is not None
+        assert trip.timestamps is not None
+        assert (np.diff(trip.timestamps) > 0).all()
+
+
+def test_route_popularity_is_skewed(city):
+    """Zipf demand: the most popular route must dominate the tail."""
+    trips = city.generate(400, rng=np.random.default_rng(9))
+    counts = np.bincount([t.route_id for t in trips],
+                         minlength=city.config.num_routes)
+    assert counts.max() >= 5 * max(1, counts[counts > 0].min())
+    # The head route matches the configured Zipf law roughly.
+    assert counts.argmax() < 5
+
+
+def test_trip_points_follow_the_route(city):
+    rng = np.random.default_rng(3)
+    trip = city.generate_trip(rng)
+    variants = city.routes[trip.route_id]
+    # Every sample lies near one of the route variants (within noise bounds).
+    best = np.inf
+    for polyline in variants:
+        dists = np.sqrt(((trip.points[:, None, :] -
+                          polyline[None, :, :]) ** 2).sum(axis=2)).min(axis=1)
+        best = min(best, dists.max())
+    # Samples interpolate between polyline vertices; allow a block of slack.
+    assert best < city.config.spacing + 6 * city.config.gps_noise
+
+
+def test_deterministic_given_seed():
+    a = SyntheticCity(CityConfig(grid_cols=6, grid_rows=6, num_routes=10,
+                                 min_route_nodes=5, min_points=8, seed=5))
+    b = SyntheticCity(CityConfig(grid_cols=6, grid_rows=6, num_routes=10,
+                                 min_route_nodes=5, min_points=8, seed=5))
+    ta = a.generate(5)
+    tb = b.generate(5)
+    for x, y in zip(ta, tb):
+        np.testing.assert_array_equal(x.points, y.points)
+
+
+def test_dataset_statistics(trips):
+    stats = dataset_statistics(trips)
+    assert stats["num_trips"] == len(trips)
+    assert stats["num_points"] == sum(len(t) for t in trips)
+    assert stats["mean_length"] == pytest.approx(
+        np.mean([len(t) for t in trips]))
+
+
+def test_dataset_statistics_empty():
+    stats = dataset_statistics([])
+    assert stats == {"num_points": 0, "num_trips": 0, "mean_length": 0.0}
+
+
+def test_presets_have_distinct_geometry():
+    porto = porto_like()
+    harbin = harbin_like()
+    assert porto.config.name != harbin.config.name
+    assert (porto.config.grid_cols, porto.config.grid_rows) != (
+        harbin.config.grid_cols, harbin.config.grid_rows)
+
+
+def test_all_points_stacks_everything(city, trips):
+    pts = city.all_points(trips)
+    assert pts.shape == (sum(len(t) for t in trips), 2)
+
+
+def test_impossible_min_points_raises():
+    config = CityConfig(grid_cols=4, grid_rows=4, spacing=100.0,
+                        num_routes=5, min_route_nodes=3, min_points=500, seed=1)
+    city = SyntheticCity(config)
+    with pytest.raises(RuntimeError):
+        city.generate(3)
+
+
+def test_sampling_is_nonuniform_in_space(city):
+    """Speed drift makes consecutive sample spacing vary along a trip."""
+    rng = np.random.default_rng(11)
+    trip = city.generate_trip(rng)
+    spacing = np.sqrt((np.diff(trip.points, axis=0) ** 2).sum(axis=1))
+    assert spacing.std() > 0.1 * spacing.mean()

@@ -1,0 +1,101 @@
+"""Projections and geodesic distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Projection, bounding_box, euclidean, haversine
+
+
+PORTO = (-8.61, 41.15)  # lon, lat
+
+
+def test_projection_round_trip():
+    proj = Projection(*PORTO)
+    pts = np.array([[-8.60, 41.16], [-8.62, 41.14], [-8.61, 41.15]])
+    back = proj.to_lonlat(proj.to_xy(pts))
+    np.testing.assert_allclose(back, pts, atol=1e-12)
+
+
+def test_projection_anchor_maps_to_origin():
+    proj = Projection(*PORTO)
+    np.testing.assert_allclose(proj.to_xy(np.array(PORTO)), [0.0, 0.0])
+
+
+def test_projection_agrees_with_haversine_at_city_scale():
+    proj = Projection(*PORTO)
+    a = np.array([-8.61, 41.15])
+    b = np.array([-8.60, 41.16])  # ~1.4 km away
+    d_proj = euclidean(proj.to_xy(a), proj.to_xy(b))
+    d_hav = haversine(a, b)
+    assert d_proj == pytest.approx(d_hav, rel=1e-3)
+
+
+def test_projection_for_points_uses_centroid():
+    pts = np.array([[0.0, 10.0], [2.0, 20.0]])
+    proj = Projection.for_points(pts)
+    assert proj.lon0 == pytest.approx(1.0)
+    assert proj.lat0 == pytest.approx(15.0)
+
+
+def test_projection_for_points_empty_raises():
+    with pytest.raises(ValueError):
+        Projection.for_points(np.empty((0, 2)))
+
+
+def test_haversine_zero_for_identical_points():
+    p = np.array([12.5, 55.7])
+    assert haversine(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_haversine_known_distance():
+    # One degree of latitude is ~111.2 km.
+    a = np.array([0.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert haversine(a, b) == pytest.approx(111_195, rel=1e-3)
+
+
+def test_haversine_broadcasts():
+    a = np.array([[0.0, 0.0], [0.0, 1.0]])
+    b = np.array([0.0, 0.0])
+    out = haversine(a, b)
+    assert out.shape == (2,)
+    assert out[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bounding_box_with_margin():
+    pts = np.array([[0.0, 1.0], [4.0, -1.0]])
+    assert bounding_box(pts, margin=0.5) == (-0.5, -1.5, 4.5, 1.5)
+
+
+def test_bounding_box_empty_raises():
+    with pytest.raises(ValueError):
+        bounding_box(np.empty((0, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lon=st.floats(-170, 170), lat=st.floats(-80, 80),
+    dlon=st.floats(-0.05, 0.05), dlat=st.floats(-0.05, 0.05),
+)
+def test_projection_round_trip_property(lon, lat, dlon, dlat):
+    proj = Projection(lon, lat)
+    point = np.array([lon + dlon, lat + dlat])
+    back = proj.to_lonlat(proj.to_xy(point))
+    np.testing.assert_allclose(back, point, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lon=st.floats(-170, 170), lat=st.floats(-60, 60),
+    dlon=st.floats(0.001, 0.02), dlat=st.floats(0.001, 0.02),
+)
+def test_projection_distance_close_to_haversine(lon, lat, dlon, dlat):
+    """At city scale the local projection is metrically faithful (<1%)."""
+    proj = Projection(lon, lat)
+    a = np.array([lon, lat])
+    b = np.array([lon + dlon, lat + dlat])
+    d_proj = euclidean(proj.to_xy(a), proj.to_xy(b))
+    d_hav = haversine(a, b)
+    assert d_proj == pytest.approx(d_hav, rel=0.01)

@@ -1,0 +1,84 @@
+"""Equal-size cell grid: point mapping, centroids, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Grid
+
+
+@pytest.fixture
+def small_grid():
+    return Grid(min_x=0.0, min_y=0.0, max_x=1000.0, max_y=500.0, cell_size=100.0)
+
+
+def test_dimensions(small_grid):
+    assert small_grid.n_cols == 10
+    assert small_grid.n_rows == 5
+    assert small_grid.num_cells == 50
+
+
+def test_cell_of_corners(small_grid):
+    assert small_grid.cell_of(np.array([0.0, 0.0])) == 0
+    assert small_grid.cell_of(np.array([950.0, 450.0])) == 49
+    assert small_grid.cell_of(np.array([150.0, 250.0])) == 2 * 10 + 1
+
+
+def test_cell_of_clamps_out_of_bounds(small_grid):
+    assert small_grid.cell_of(np.array([-50.0, -50.0])) == 0
+    assert small_grid.cell_of(np.array([5000.0, 5000.0])) == 49
+
+
+def test_centroid_round_trip(small_grid):
+    ids = np.arange(small_grid.num_cells)
+    centroids = small_grid.centroid(ids)
+    np.testing.assert_array_equal(small_grid.cell_of(centroids), ids)
+
+
+def test_centroid_values(small_grid):
+    np.testing.assert_allclose(small_grid.centroid(np.array([0])), [[50.0, 50.0]])
+    np.testing.assert_allclose(small_grid.centroid(np.array([11])), [[150.0, 150.0]])
+
+
+def test_centroid_rejects_bad_ids(small_grid):
+    with pytest.raises(IndexError):
+        small_grid.centroid(np.array([50]))
+    with pytest.raises(IndexError):
+        small_grid.centroid(np.array([-1]))
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        Grid(0, 0, 10, 10, cell_size=0)
+    with pytest.raises(ValueError):
+        Grid(0, 0, -1, 10, cell_size=5)
+
+
+def test_covering_contains_all_points():
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(-500, 500, size=(200, 2))
+    grid = Grid.covering(pts, cell_size=50.0)
+    ids = grid.cell_of(pts)
+    assert ids.min() >= 0
+    assert ids.max() < grid.num_cells
+    # Every point is inside its claimed cell (no clamping happened).
+    centroids = grid.centroid(ids)
+    assert (np.abs(pts - centroids) <= 25.0 + 1e-6).all()
+
+
+def test_covering_empty_raises():
+    with pytest.raises(ValueError):
+        Grid.covering(np.empty((0, 2)), 100.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.floats(0, 999.999), y=st.floats(0, 499.999),
+    cell=st.floats(10, 200),
+)
+def test_point_within_half_cell_of_its_centroid(x, y, cell):
+    grid = Grid(0.0, 0.0, 1000.0, 500.0, cell_size=cell)
+    point = np.array([x, y])
+    centroid = grid.centroid(grid.cell_of(point))
+    assert np.abs(point - centroid).max() <= cell / 2 + 1e-9

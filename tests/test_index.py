@@ -1,0 +1,88 @@
+"""Vector k-NN indexes: exact scan and LSH."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactIndex, LSHIndex
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((500, 16))
+
+
+class TestExactIndex:
+    def test_knn_matches_argsort(self, vectors):
+        index = ExactIndex(vectors)
+        query = vectors[7] + 0.01
+        idx, dists = index.knn(query, k=10)
+        truth = np.argsort(np.linalg.norm(vectors - query, axis=1))[:10]
+        np.testing.assert_array_equal(idx, truth)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_nearest_to_member_is_itself(self, vectors):
+        index = ExactIndex(vectors)
+        idx, dists = index.knn(vectors[42], k=1)
+        assert idx[0] == 42
+        assert dists[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_larger_than_index(self):
+        index = ExactIndex(np.eye(3))
+        idx, _ = index.knn(np.zeros(3), k=10)
+        assert len(idx) == 3
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            ExactIndex(np.zeros(5))
+
+
+class TestLSHIndex:
+    def test_recall_against_exact(self, vectors):
+        exact = ExactIndex(vectors)
+        lsh = LSHIndex(vectors, num_tables=12, num_bits=6, seed=0)
+        recalls = []
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            query = vectors[rng.integers(len(vectors))] + 0.05 * rng.standard_normal(16)
+            truth, _ = exact.knn(query, k=10)
+            approx, _ = lsh.knn(query, k=10)
+            recalls.append(len(set(truth) & set(approx)) / 10)
+        assert np.mean(recalls) > 0.6  # decent recall with 12 tables
+
+    def test_distances_are_exact_for_returned_candidates(self, vectors):
+        lsh = LSHIndex(vectors, num_tables=4, num_bits=6, seed=0)
+        query = np.zeros(16)
+        idx, dists = lsh.knn(query, k=5)
+        np.testing.assert_allclose(
+            dists, np.linalg.norm(vectors[idx] - query, axis=1), rtol=1e-9)
+
+    def test_falls_back_to_exact_when_buckets_empty(self, vectors):
+        # With many bits, buckets are tiny; a far-away query may miss all.
+        lsh = LSHIndex(vectors, num_tables=1, num_bits=16, seed=0)
+        far_query = np.full(16, 100.0)
+        idx, _ = lsh.knn(far_query, k=20)
+        assert len(idx) == 20  # fallback guarantees k results
+
+    def test_candidates_subset_of_index(self, vectors):
+        lsh = LSHIndex(vectors, num_tables=4, num_bits=6, seed=0)
+        cand = lsh.candidates(vectors[0])
+        assert cand.min() >= 0
+        assert cand.max() < len(vectors)
+        assert 0 in set(cand.tolist())  # a member hashes into its own bucket
+
+    def test_validation(self, vectors):
+        with pytest.raises(ValueError):
+            LSHIndex(vectors, num_tables=0)
+        with pytest.raises(ValueError):
+            LSHIndex(vectors, num_bits=63)
+        with pytest.raises(ValueError):
+            LSHIndex(np.zeros(4))
+
+    def test_faster_than_exact_on_large_index(self):
+        """LSH visits a fraction of the index (candidate count << N)."""
+        rng = np.random.default_rng(2)
+        big = rng.standard_normal((5000, 16))
+        lsh = LSHIndex(big, num_tables=4, num_bits=10, seed=0)
+        sizes = [len(lsh.candidates(big[i])) for i in range(20)]
+        assert np.mean(sizes) < 0.5 * len(big)

@@ -1,0 +1,95 @@
+"""Cross-module integration: miniature versions of the paper's pipeline.
+
+These tests glue together the generator, vocabulary, model, baselines,
+eval harness, clustering, and persistence — the paths a downstream user
+actually exercises — at the smallest scale that is still meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LossSpec, T2Vec, T2VecConfig, TrainingConfig
+from repro.baselines import CMS, EDR, EDwP
+from repro.data import load_archive, save_archive
+from repro.eval import build_setup, format_table, mean_rank
+from repro.tasks import cluster_purity, cluster_trajectories
+
+
+@pytest.fixture(scope="module")
+def mini_model(trips):
+    model = T2Vec(T2VecConfig(
+        min_hits=3, embedding_size=24, hidden_size=24, num_layers=1,
+        dropout=0.0, loss=LossSpec(kind="L3", k_nearest=6, noise=16),
+        dropping_rates=(0.0, 0.4), distorting_rates=(0.0,),
+        training=TrainingConfig(batch_size=128, max_epochs=6, patience=10),
+        seed=0))
+    model.fit(trips[:60])
+    return model
+
+
+def test_mini_most_similar_experiment(mini_model, trips):
+    """The Figure-4 protocol end to end, t2vec vs two baselines."""
+    setup = build_setup(trips[60:75], trips[20:60], num_queries=10,
+                        rng=np.random.default_rng(0))
+    measures = [mini_model, EDR(100.0), EDwP(), CMS(mini_model.vocab)]
+    ranks = {m.name: mean_rank(m, setup) for m in measures}
+    random_rank = len(setup.database) / 2
+    # Every structured measure beats random; CMS is never the best.
+    for name, rank in ranks.items():
+        assert rank < random_rank, name
+    assert ranks["CMS"] >= min(ranks.values())
+    # And the results render into a paper-style table without error.
+    table = format_table("mini", "r", [0], {k: [v] for k, v in ranks.items()})
+    assert "t2vec" in table
+
+
+def test_mini_robustness_trend(mini_model, trips):
+    """t2vec's rank under heavy degradation stays within a sane factor."""
+    clean = build_setup(trips[60:75], trips[20:60], 10,
+                        rng=np.random.default_rng(1))
+    degraded = build_setup(trips[60:75], trips[20:60], 10,
+                           dropping_rate=0.5, rng=np.random.default_rng(1))
+    clean_rank = mean_rank(mini_model, clean)
+    degraded_rank = mean_rank(mini_model, degraded)
+    assert degraded_rank < 6.0 * max(clean_rank, 1.0)
+
+
+def test_model_survives_archive_and_checkpoint_round_trip(
+        tmp_path, mini_model, trips):
+    """Save model + archive, reload both, and get identical distances."""
+    archive = tmp_path / "trips.npz"
+    checkpoint = tmp_path / "model.npz"
+    save_archive(archive, trips[60:70])
+    mini_model.save(checkpoint)
+
+    restored_model = T2Vec.load(checkpoint)
+    restored_trips = load_archive(archive)
+    original = mini_model.distance_to_many(trips[60], trips[60:70])
+    roundtrip = restored_model.distance_to_many(restored_trips[0],
+                                                restored_trips)
+    np.testing.assert_allclose(roundtrip, original, atol=1e-5)
+
+
+def test_clustering_on_learned_vectors_beats_chance(mini_model, trips):
+    heldout = trips[60:80]
+    route_ids = [t.route_id for t in heldout]
+    n_clusters = min(6, len(set(route_ids)))
+    labels = cluster_trajectories(mini_model, heldout, n_clusters, seed=0)
+    purity = cluster_purity(labels, route_ids)
+    # Chance purity is roughly the dominant route's share; learned
+    # vectors should do clearly better on route-skewed data.
+    counts = np.bincount(route_ids)
+    chance = counts.max() / counts.sum()
+    assert purity >= chance
+
+
+def test_greedy_reconstruction_stays_on_route(mini_model, trips):
+    """The decoder's reconstruction lands near the input's route."""
+    trip = trips[62]
+    reconstruction = mini_model.reconstruct_route(trip, max_len=60)
+    if len(reconstruction) == 0:
+        pytest.skip("model decoded an empty route at this scale")
+    dists = np.sqrt(((reconstruction[:, None, :] -
+                      trip.points[None, :, :]) ** 2).sum(axis=2)).min(axis=1)
+    # Within a few cells of the true trajectory on average.
+    assert dists.mean() < 8 * mini_model.config.cell_size

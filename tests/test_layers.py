@@ -1,0 +1,91 @@
+"""Linear, Embedding, and Dropout behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Linear, Tensor
+
+
+def test_linear_affine_map():
+    rng = np.random.default_rng(0)
+    layer = Linear(3, 2, rng=rng)
+    x = rng.standard_normal((5, 3))
+    out = layer(Tensor(x)).numpy()
+    expected = x @ layer.weight.numpy() + layer.bias.numpy()
+    np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+
+def test_linear_without_bias():
+    layer = Linear(3, 2, bias=False, rng=np.random.default_rng(0))
+    assert layer.bias is None
+    out = layer(Tensor(np.zeros((1, 3)))).numpy()
+    np.testing.assert_array_equal(out, np.zeros((1, 2)))
+
+
+def test_linear_higher_rank_input():
+    layer = Linear(3, 4, rng=np.random.default_rng(0))
+    out = layer(Tensor(np.ones((2, 5, 3))))
+    assert out.shape == (2, 5, 4)
+
+
+def test_embedding_lookup_matches_table():
+    emb = Embedding(6, 3, rng=np.random.default_rng(0))
+    tokens = np.array([[0, 5], [2, 2]])
+    out = emb(tokens).numpy()
+    np.testing.assert_array_equal(out, emb.weight.numpy()[tokens])
+
+
+def test_embedding_rejects_out_of_range():
+    emb = Embedding(4, 2)
+    with pytest.raises(IndexError):
+        emb(np.array([4]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_embedding_gradient_accumulates_for_repeated_tokens():
+    emb = Embedding(5, 2, rng=np.random.default_rng(0))
+    out = emb(np.array([1, 1, 1])).sum()
+    out.backward()
+    np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+    np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+def test_embedding_load_pretrained():
+    emb = Embedding(4, 3)
+    table = np.arange(12, dtype=float).reshape(4, 3)
+    emb.load_pretrained(table)
+    np.testing.assert_allclose(emb.weight.numpy(), table)
+    with pytest.raises(ValueError):
+        emb.load_pretrained(np.zeros((2, 2)))
+
+
+def test_embedding_load_pretrained_freeze():
+    emb = Embedding(4, 3)
+    emb.load_pretrained(np.zeros((4, 3)), freeze=True)
+    assert not emb.weight.requires_grad
+
+
+def test_dropout_identity_in_eval_mode():
+    drop = Dropout(0.9, rng=np.random.default_rng(0))
+    drop.eval()
+    x = np.ones((100,))
+    np.testing.assert_array_equal(drop(Tensor(x)).numpy(), x)
+
+
+def test_dropout_scales_surviving_activations():
+    drop = Dropout(0.5, rng=np.random.default_rng(0))
+    x = np.ones((10000,))
+    out = drop(Tensor(x)).numpy()
+    survivors = out[out > 0]
+    np.testing.assert_allclose(survivors, 2.0)  # inverted dropout scaling
+    assert 0.4 < (out > 0).mean() < 0.6  # about half survive
+    # expectation preserved
+    assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+
+def test_dropout_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)

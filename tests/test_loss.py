@@ -1,0 +1,138 @@
+"""Decoder losses: L1/L2/L3 semantics and their mutual consistency."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Tensor, masked_sampled_loss, nll_loss,
+                      sampled_weighted_loss, weighted_nll_loss)
+from repro.nn.functional import log_softmax
+
+from .test_tensor import check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.mark.usefixtures("float64_tensors")
+class TestNLL:
+    def test_matches_manual_cross_entropy(self, rng):
+        logits = rng.standard_normal((4, 6))
+        targets = np.array([0, 2, 5, 1])
+        loss = nll_loss(Tensor(logits), targets).item()
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-9)
+
+    def test_mask_excludes_rows(self, rng):
+        logits = rng.standard_normal((4, 6))
+        targets = np.array([0, 2, 5, 1])
+        mask = np.array([1.0, 1.0, 0.0, 0.0])
+        masked = nll_loss(Tensor(logits), targets, mask).item()
+        unmasked = nll_loss(Tensor(logits[:2]), targets[:2]).item()
+        assert masked == pytest.approx(unmasked, rel=1e-9)
+
+    def test_empty_mask_raises(self, rng):
+        logits = Tensor(rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            nll_loss(logits, np.array([0, 1]), np.zeros(2))
+
+    def test_gradients(self, rng):
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([1, 0, 4])
+        check_gradients(lambda x: nll_loss(x, targets), logits)
+
+
+@pytest.mark.usefixtures("float64_tensors")
+class TestWeightedNLL:
+    def test_one_hot_weights_reduce_to_nll(self, rng):
+        logits = rng.standard_normal((4, 6))
+        targets = np.array([0, 2, 5, 1])
+        weights = np.zeros((4, 6))
+        weights[np.arange(4), targets] = 1.0
+        l2 = weighted_nll_loss(Tensor(logits), weights).item()
+        l1 = nll_loss(Tensor(logits), targets).item()
+        assert l2 == pytest.approx(l1, rel=1e-9)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            weighted_nll_loss(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_gradients(self, rng):
+        logits = rng.standard_normal((3, 5))
+        weights = rng.dirichlet(np.ones(5), size=3)
+        check_gradients(lambda x: weighted_nll_loss(x, weights), logits)
+
+
+@pytest.mark.usefixtures("float64_tensors")
+class TestSampledLoss:
+    def test_full_candidate_set_matches_weighted_nll(self, rng):
+        """With NO = the entire vocabulary, L3 equals L2 exactly."""
+        vocab, hidden_dim, batch = 7, 4, 3
+        hidden = rng.standard_normal((batch, hidden_dim))
+        proj = rng.standard_normal((vocab, hidden_dim))
+        weights_full = rng.dirichlet(np.ones(vocab), size=batch)
+        candidates = np.tile(np.arange(vocab), (batch, 1))
+        l3 = sampled_weighted_loss(Tensor(hidden), Tensor(proj), candidates,
+                                   weights_full).item()
+        logits = hidden @ proj.T
+        l2 = weighted_nll_loss(Tensor(logits), weights_full).item()
+        assert l3 == pytest.approx(l2, rel=1e-9)
+
+    def test_masked_dense_variant_agrees_with_gathered(self, rng):
+        vocab, hidden_dim, batch, k = 9, 4, 5, 3
+        hidden = rng.standard_normal((batch, hidden_dim))
+        proj = rng.standard_normal((vocab, hidden_dim))
+        candidates = np.stack([rng.choice(vocab, size=k, replace=False)
+                               for _ in range(batch)])
+        w = rng.dirichlet(np.ones(k), size=batch)
+        gathered = sampled_weighted_loss(Tensor(hidden), Tensor(proj),
+                                         candidates, w).item()
+        logits = Tensor(hidden @ proj.T)
+        rows = np.arange(batch)[:, None]
+        dense_w = np.zeros((batch, vocab))
+        dense_w[rows, candidates] = w
+        bias = np.full((batch, vocab), -1e9)
+        bias[rows, candidates] = 0.0
+        dense = masked_sampled_loss(logits, dense_w, bias).item()
+        assert dense == pytest.approx(gathered, rel=1e-6)
+
+    def test_noise_cells_only_affect_partition(self, rng):
+        """Adding noise candidates (weight 0) changes Z but not the numerator."""
+        hidden = rng.standard_normal((2, 3))
+        proj = rng.standard_normal((6, 3))
+        cand_small = np.array([[0, 1], [2, 3]])
+        w = np.array([[0.6, 0.4], [0.5, 0.5]])
+        small = sampled_weighted_loss(Tensor(hidden), Tensor(proj),
+                                      cand_small, w).item()
+        cand_big = np.concatenate([cand_small, np.array([[4, 5], [4, 5]])], axis=1)
+        w_big = np.concatenate([w, np.zeros((2, 2))], axis=1)
+        big = sampled_weighted_loss(Tensor(hidden), Tensor(proj),
+                                    cand_big, w_big).item()
+        assert big > small  # larger partition always increases -log p
+
+    def test_bias_is_applied(self, rng):
+        hidden = rng.standard_normal((2, 3))
+        proj = rng.standard_normal((4, 3))
+        bias = rng.standard_normal(4)
+        cand = np.array([[0, 1], [2, 3]])
+        w = np.array([[1.0, 0.0], [1.0, 0.0]])
+        without = sampled_weighted_loss(Tensor(hidden), Tensor(proj), cand, w).item()
+        with_bias = sampled_weighted_loss(Tensor(hidden), Tensor(proj), cand, w,
+                                          proj_bias=Tensor(bias)).item()
+        assert without != pytest.approx(with_bias)
+
+    def test_gradients_hidden_and_proj(self, rng):
+        hidden = rng.standard_normal((2, 3))
+        proj = rng.standard_normal((6, 3))
+        cand = np.array([[0, 1, 4], [2, 3, 5]])
+        w = rng.dirichlet(np.ones(3), size=2)
+        check_gradients(
+            lambda h, p: sampled_weighted_loss(h, p, cand, w), hidden, proj)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            sampled_weighted_loss(Tensor(np.zeros((2, 3))),
+                                  Tensor(np.zeros((5, 3))),
+                                  np.zeros((2, 4), dtype=int), np.zeros((2, 3)))

@@ -1,0 +1,104 @@
+"""Module system: parameter discovery, state dicts, train/eval modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, Dropout, Embedding, Linear, Module, Parameter
+
+
+class ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.linear = Linear(4, 3, rng=rng)
+        self.embedding = Embedding(7, 4, rng=rng)
+        self.blocks = [Linear(3, 3, rng=rng), Linear(3, 2, rng=rng)]
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, tokens):
+        return self.linear(self.embedding(tokens))
+
+
+def test_named_parameters_cover_nested_modules_and_lists():
+    model = ToyModel()
+    names = {name for name, _ in model.named_parameters()}
+    assert "linear.weight" in names
+    assert "linear.bias" in names
+    assert "embedding.weight" in names
+    assert "blocks.0.weight" in names
+    assert "blocks.1.bias" in names
+    assert "scale" in names
+
+
+def test_num_parameters_counts_every_element():
+    model = ToyModel()
+    expected = sum(p.size for p in model.parameters())
+    assert model.num_parameters() == expected
+    assert expected > 0
+
+
+def test_state_dict_round_trip():
+    model = ToyModel()
+    state = model.state_dict()
+    # mutate, then restore
+    for p in model.parameters():
+        p.data += 1.0
+    model.load_state_dict(state)
+    for name, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, state[name])
+
+
+def test_state_dict_is_a_copy():
+    model = ToyModel()
+    state = model.state_dict()
+    model.linear.weight.data += 5.0
+    assert not np.allclose(state["linear.weight"], model.linear.weight.data)
+
+
+def test_load_state_dict_rejects_missing_keys():
+    model = ToyModel()
+    state = model.state_dict()
+    del state["scale"]
+    with pytest.raises(KeyError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_unexpected_keys():
+    model = ToyModel()
+    state = model.state_dict()
+    state["ghost"] = np.zeros(2)
+    with pytest.raises(KeyError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_shape_mismatch():
+    model = ToyModel()
+    state = model.state_dict()
+    state["scale"] = np.zeros(9)
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_train_eval_propagates_to_submodules():
+    model = ToyModel()
+    model.eval()
+    assert not model.linear.training
+    assert not model.blocks[1].training
+    model.train()
+    assert model.blocks[0].training
+
+
+def test_zero_grad_clears_gradients():
+    model = ToyModel()
+    out = model(np.array([1, 2])).sum()
+    out.backward()
+    assert model.linear.weight.grad is not None
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_gru_parameters_discovered_through_cells_list():
+    gru = GRU(4, 5, num_layers=2, rng=np.random.default_rng(0))
+    names = {name for name, _ in gru.named_parameters()}
+    assert "cells.0.w_ih" in names
+    assert "cells.1.w_hh" in names

@@ -1,0 +1,57 @@
+"""Training pair synthesis: the 16-variant grid per original trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
+                        build_training_pairs, iter_training_pairs)
+
+
+def test_sixteen_pairs_per_original(trips, rng):
+    originals = trips[:3]
+    pairs = build_training_pairs(originals, rng=rng)
+    assert len(pairs) == 16 * len(originals)
+
+
+def test_rate_grid_covered(trips, rng):
+    pairs = build_training_pairs(trips[:1], rng=rng)
+    combos = {(p.dropping_rate, p.distorting_rate) for p in pairs}
+    assert combos == {(r1, r2) for r1 in DEFAULT_DROPPING_RATES
+                      for r2 in DEFAULT_DISTORTING_RATES}
+
+
+def test_target_is_the_original(trips, rng):
+    original = trips[0]
+    pairs = build_training_pairs([original], rng=rng)
+    for pair in pairs:
+        np.testing.assert_array_equal(pair.target.points, original.points)
+
+
+def test_sources_are_degraded(trips, rng):
+    original = trips[0]
+    pairs = build_training_pairs([original], dropping_rates=(0.6,),
+                                 distorting_rates=(0.0,), rng=rng)
+    assert len(pairs[0].source) < len(original)
+
+
+def test_clean_pair_identity(trips, rng):
+    pairs = build_training_pairs(trips[:1], dropping_rates=(0.0,),
+                                 distorting_rates=(0.0,), rng=rng)
+    np.testing.assert_array_equal(pairs[0].source.points, trips[0].points)
+
+
+def test_source_endpoints_preserved(trips, rng):
+    pairs = build_training_pairs(trips[:4], rng=rng)
+    for pair in pairs:
+        if pair.distorting_rate == 0.0:  # distortion may move endpoints
+            np.testing.assert_array_equal(pair.source.start, pair.target.start)
+            np.testing.assert_array_equal(pair.source.end, pair.target.end)
+
+
+def test_iter_matches_build_count(trips):
+    originals = trips[:2]
+    lazy = list(iter_training_pairs(originals, rng=np.random.default_rng(0)))
+    eager = build_training_pairs(originals, rng=np.random.default_rng(0))
+    assert len(lazy) == len(eager)
+    for a, b in zip(lazy, eager):
+        np.testing.assert_array_equal(a.source.points, b.source.points)

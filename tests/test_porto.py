@@ -1,0 +1,73 @@
+"""Real Porto CSV loader (exercised on a synthetic fixture file)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_porto
+from repro.data.porto import iter_porto_polylines
+
+
+def porto_polyline(n, lon0=-8.61, lat0=41.15):
+    lons = lon0 + np.linspace(0, 0.01, n)
+    lats = lat0 + np.linspace(0, 0.008, n)
+    return [[float(a), float(b)] for a, b in zip(lons, lats)]
+
+
+@pytest.fixture
+def porto_csv(tmp_path):
+    rows = [
+        porto_polyline(40),                         # valid long trip
+        porto_polyline(5),                          # too short
+        porto_polyline(35, lon0=-9.5),              # outside the bbox
+        porto_polyline(60),                         # valid long trip
+    ]
+    path = tmp_path / "train.csv"
+    with open(path, "w") as handle:
+        handle.write('"TRIP_ID","POLYLINE"\n')
+        for i, polyline in enumerate(rows):
+            encoded = json.dumps(polyline).replace('"', '""')
+            handle.write(f'"{i}","{encoded}"\n')
+    return path
+
+
+def test_iter_polylines_yields_all_rows(porto_csv):
+    polylines = list(iter_porto_polylines(porto_csv))
+    assert len(polylines) == 4
+    assert polylines[0].shape == (40, 2)
+
+
+def test_load_porto_filters_short_and_out_of_bbox(porto_csv):
+    trips = load_porto(porto_csv, min_length=30)
+    assert len(trips) == 2
+    assert all(len(t) >= 30 for t in trips)
+
+
+def test_load_porto_projects_to_meters(porto_csv):
+    trips = load_porto(porto_csv, min_length=30)
+    # ~0.01 degrees of longitude in Porto is under a kilometre.
+    span = trips[0].points[:, 0].max() - trips[0].points[:, 0].min()
+    assert 500 < span < 1500
+
+
+def test_load_porto_timestamps_follow_15s_sampling(porto_csv):
+    trips = load_porto(porto_csv, min_length=30)
+    np.testing.assert_allclose(np.diff(trips[0].timestamps), 15.0)
+
+
+def test_load_porto_max_trips(porto_csv):
+    trips = load_porto(porto_csv, min_length=30, max_trips=1)
+    assert len(trips) == 1
+
+
+def test_load_porto_no_bbox_keeps_out_of_town(porto_csv):
+    trips = load_porto(porto_csv, min_length=30, bbox=None)
+    assert len(trips) == 3
+
+
+def test_missing_polyline_column_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text('"A","B"\n"1","2"\n')
+    with pytest.raises(ValueError):
+        list(iter_porto_polylines(path))

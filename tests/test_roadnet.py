@@ -1,0 +1,91 @@
+"""Synthetic road network substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data import RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return RoadNetwork.perturbed_grid(6, 5, spacing=100.0,
+                                      rng=np.random.default_rng(0))
+
+
+def test_grid_dimensions(network):
+    assert network.num_nodes == 30
+
+
+def test_stays_connected_despite_edge_removal():
+    net = RoadNetwork.perturbed_grid(8, 8, spacing=100.0, edge_removal=0.3,
+                                     rng=np.random.default_rng(1))
+    assert nx.is_connected(net.graph)
+
+
+def test_edge_removal_actually_removes_edges():
+    rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+    full = RoadNetwork.perturbed_grid(8, 8, 100.0, edge_removal=0.0, rng=rng_a)
+    sparse = RoadNetwork.perturbed_grid(8, 8, 100.0, edge_removal=0.25, rng=rng_b)
+    assert sparse.graph.number_of_edges() < full.graph.number_of_edges()
+
+
+def test_edges_have_length_attribute(network):
+    for u, v, attrs in network.graph.edges(data=True):
+        expected = np.linalg.norm(network.positions[u] - network.positions[v])
+        assert attrs["length"] == pytest.approx(expected)
+
+
+def test_shortest_path_valid(network):
+    nodes = network.nodes
+    path = network.shortest_path(nodes[0], nodes[-1])
+    assert path[0] == nodes[0]
+    assert path[-1] == nodes[-1]
+    for u, v in zip(path, path[1:]):
+        assert network.graph.has_edge(u, v)
+
+
+def test_path_polyline_shape(network):
+    path = network.shortest_path(0, network.num_nodes - 1)
+    polyline = network.path_polyline(path)
+    assert polyline.shape == (len(path), 2)
+    with pytest.raises(ValueError):
+        network.path_polyline([0])
+
+
+def test_perturbed_shortest_path_connects_endpoints(network):
+    rng = np.random.default_rng(3)
+    path = network.perturbed_shortest_path(0, network.num_nodes - 1, rng)
+    assert path[0] == 0
+    assert path[-1] == network.num_nodes - 1
+
+
+def test_perturbed_paths_vary(network):
+    rng = np.random.default_rng(4)
+    paths = {tuple(network.perturbed_shortest_path(0, network.num_nodes - 1,
+                                                   rng, sigma=0.6))
+             for _ in range(10)}
+    assert len(paths) > 1  # perturbation produces alternative routes
+
+
+def test_random_route_min_nodes(network):
+    rng = np.random.default_rng(5)
+    route = network.random_route(rng, min_nodes=5)
+    assert len(route) >= 5
+
+
+def test_random_route_impossible_raises():
+    tiny = RoadNetwork.perturbed_grid(2, 2, 100.0, edge_removal=0.0,
+                                      rng=np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        tiny.random_route(np.random.default_rng(0), min_nodes=50, max_tries=5)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        RoadNetwork.perturbed_grid(1, 5, 100.0)
+    with pytest.raises(ValueError):
+        RoadNetwork.perturbed_grid(4, 4, 100.0, edge_removal=1.0)
+    disconnected = nx.Graph([(0, 1), (2, 3)])
+    with pytest.raises(ValueError):
+        RoadNetwork(disconnected, {i: np.zeros(2) for i in range(4)})

@@ -1,0 +1,143 @@
+"""Generic time-series encoding (paper future work 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Series2Vec, Series2VecConfig, SeriesVocabulary,
+                        TrainingConfig, distort_series, downsample_series)
+from repro.core.losses import LossSpec
+
+
+def wave(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Three easily separable series families."""
+    t = np.linspace(0, 4 * np.pi, n)
+    phase = rng.uniform(0, 2 * np.pi)
+    noise = 0.05 * rng.standard_normal(n)
+    if kind == "sine":
+        return np.sin(t + phase) + noise
+    if kind == "ramp":
+        return np.linspace(-1, 1, n) + 0.1 * np.sin(3 * t + phase) + noise
+    return np.sign(np.sin(t + phase)) + noise  # square
+
+
+@pytest.fixture(scope="module")
+def series_data():
+    rng = np.random.default_rng(0)
+    kinds = ["sine", "ramp", "square"]
+    data = [(k, wave(k, rng.integers(30, 50), rng))
+            for k in kinds for _ in range(20)]
+    rng.shuffle(data)
+    return data
+
+
+@pytest.fixture(scope="module")
+def fitted(series_data):
+    model = Series2Vec(Series2VecConfig(
+        num_bins=24, embedding_size=16, hidden_size=16,
+        loss=LossSpec(k_nearest=6, noise=16),
+        training=TrainingConfig(batch_size=64, max_epochs=4, patience=10),
+        seed=0))
+    result = model.fit([s for _, s in series_data[:45]])
+    return model, result
+
+
+class TestSeriesVocabulary:
+    def test_build_respects_bin_budget(self):
+        rng = np.random.default_rng(0)
+        vocab = SeriesVocabulary.build([rng.standard_normal(100)], num_bins=16)
+        assert 2 <= vocab.num_hot_cells <= 17
+        assert vocab.size == vocab.num_hot_cells + 4
+
+    def test_tokenize_round_trip_on_centers(self):
+        vocab = SeriesVocabulary(np.array([0.0, 1.0, 2.0]))
+        tokens = vocab.tokenize_series(np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(tokens, [4, 5, 6])
+
+    def test_tokenize_maps_to_nearest_center(self):
+        vocab = SeriesVocabulary(np.array([0.0, 10.0]))
+        tokens = vocab.tokenize_series(np.array([1.0, 9.0, 100.0]))
+        np.testing.assert_array_equal(tokens, [4, 5, 5])
+
+    def test_proximity_kernels_inherited(self):
+        vocab = SeriesVocabulary(np.array([0.0, 1.0, 2.0, 5.0]))
+        cand, weights = vocab.proximity_candidates(np.array([4]), k=3, theta=1.0)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        assert cand[0, 0] == 4  # self is nearest
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesVocabulary(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SeriesVocabulary.build([np.array([])], num_bins=8)
+
+
+class TestSeriesTransforms:
+    def test_downsample_keeps_endpoints(self):
+        rng = np.random.default_rng(0)
+        s = np.arange(30, dtype=float)
+        out = downsample_series(s, 0.8, rng)
+        assert out[0] == 0.0 and out[-1] == 29.0
+        assert len(out) < 30
+
+    def test_downsample_rate_zero_identity(self):
+        rng = np.random.default_rng(0)
+        s = np.arange(5, dtype=float)
+        np.testing.assert_array_equal(downsample_series(s, 0.0, rng), s)
+
+    def test_distort_moves_selected_fraction(self):
+        rng = np.random.default_rng(0)
+        s = np.zeros(1000)
+        out = distort_series(s, 0.3, 1.0, rng)
+        moved = (out != 0).mean()
+        assert 0.2 < moved < 0.4
+
+    def test_invalid_rates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            downsample_series(np.zeros(5), 1.0, rng)
+        with pytest.raises(ValueError):
+            distort_series(np.zeros(5), 1.5, 1.0, rng)
+
+
+class TestSeries2Vec:
+    def test_fit_reduces_loss(self, fitted):
+        _, result = fitted
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_encode_shape(self, fitted, series_data):
+        model, _ = fitted
+        vec = model.encode(series_data[0][1])
+        assert vec.shape == (16,)
+
+    def test_same_family_closer_than_cross_family(self, fitted, series_data):
+        model, _ = fitted
+        heldout = series_data[45:]
+        by_kind = {}
+        for kind, s in heldout:
+            by_kind.setdefault(kind, []).append(s)
+        kinds = sorted(by_kind)
+        # Compare within-family vs cross-family mean distances.
+        within, across = [], []
+        for kind in kinds:
+            group = by_kind[kind]
+            if len(group) < 2:
+                continue
+            within.append(model.distance(group[0], group[1]))
+            other = by_kind[kinds[(kinds.index(kind) + 1) % len(kinds)]][0]
+            across.append(model.distance(group[0], other))
+        assert np.mean(within) < np.mean(across)
+
+    def test_knn_returns_valid_indices(self, fitted, series_data):
+        model, _ = fitted
+        candidates = [s for _, s in series_data[45:]]
+        idx = model.knn(series_data[45][1], candidates, k=3)
+        assert len(idx) == 3
+        assert idx[0] == 0  # the query itself is in the candidate list
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Series2Vec().encode(np.zeros(10))
+
+    def test_fit_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            Series2Vec().fit([np.zeros(2)])

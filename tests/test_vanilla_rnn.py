@@ -1,0 +1,48 @@
+"""vRNN baseline: next-cell language model as a trajectory encoder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VanillaRNNEmbedding
+
+
+@pytest.fixture(scope="module")
+def vrnn(vocab, trips):
+    model = VanillaRNNEmbedding(vocab, embedding_size=16, hidden_size=16,
+                                num_layers=1, seed=0)
+    model.history = model.fit(trips[:30], epochs=2, batch_size=16)
+    return model
+
+
+def test_fit_reduces_loss(vrnn):
+    assert vrnn.history[-1] < vrnn.history[0]
+
+
+def test_encode_shape(vrnn, trips):
+    vec = vrnn.encode(trips[0])
+    assert vec.shape == (16,)
+
+
+def test_encode_many_matches_encode(vrnn, trips):
+    batch = vrnn.encode_many(trips[:4])
+    singles = np.stack([vrnn.encode(t) for t in trips[:4]])
+    np.testing.assert_allclose(batch, singles, atol=1e-6)
+
+
+def test_distance_interface(vrnn, trips):
+    d = vrnn.distance(trips[0], trips[1])
+    assert d >= 0
+    many = vrnn.distance_to_many(trips[0], trips[:3])
+    assert many[0] == pytest.approx(0.0, abs=1e-6)
+    assert many[1] == pytest.approx(d, rel=1e-5)
+
+
+def test_cache_content_keyed(vrnn, trips):
+    clone = trips[0].with_points(trips[0].points.copy())
+    np.testing.assert_array_equal(vrnn.encode(trips[0]), vrnn.encode(clone))
+
+
+def test_fit_rejects_degenerate_input(vocab):
+    model = VanillaRNNEmbedding(vocab)
+    with pytest.raises(ValueError):
+        model.fit([])
