@@ -11,8 +11,9 @@ import numpy as np
 from repro.baselines import EDR, EDwP
 from repro.core import ExactIndex, LSHIndex
 from repro.eval import experiment_scalability, format_table, line_chart
+from repro.telemetry import MetricsRegistry, set_registry, write_jsonl
 
-from .conftest import FAST, run_once, write_result
+from .conftest import FAST, RESULTS_DIR, run_once, write_result
 
 DB_SIZES = [200, 400, 800] if not FAST else [50, 100]
 NUM_QUERIES = 10 if not FAST else 4
@@ -24,11 +25,19 @@ def test_fig6_knn_query_time(benchmark, porto_bench):
     database = porto_bench.filler_pool + porto_bench.train  # big pool
     measures = [porto_bench.model, EDwP(), EDR(100.0)]
 
+    # Capture per-query latency percentiles alongside the table itself.
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+
     def run():
         return experiment_scalability(measures, queries, database,
                                       db_sizes=DB_SIZES, k=K)
 
-    results = run_once(benchmark, run)
+    try:
+        results = run_once(benchmark, run)
+    finally:
+        set_registry(previous)
+    write_jsonl(registry, RESULTS_DIR / "fig6_scalability_metrics.jsonl")
     ms = {name: [t * 1000 for t in times] for name, times in results.items()}
     text = format_table(
         "Figure 6: mean k-NN query time (ms) vs database size",

@@ -19,8 +19,9 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import LossSpec, T2Vec, T2VecConfig, TrainingConfig
+from repro import LossSpec, MetricsRegistry, T2Vec, T2VecConfig, TrainingConfig
 from repro.data import harbin_like, porto_like
+from repro.telemetry import ProgressLogger, write_jsonl
 
 CACHE_DIR = Path(__file__).parent / "_cache"
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -51,14 +52,23 @@ def bench_config(hidden: int = None, epochs: int = None, **overrides) -> T2VecCo
 
 
 def fit_cached(tag: str, config: T2VecConfig, train_trips) -> T2Vec:
-    """Train a model or load it from the on-disk cache."""
+    """Train a model or load it from the on-disk cache.
+
+    Fresh training runs record their telemetry (loss curve, tokens/sec,
+    phase spans) to ``results/train_<tag>_metrics.jsonl`` so the cost of
+    every cached model stays inspectable via ``repro stats``.
+    """
     CACHE_DIR.mkdir(exist_ok=True)
     path = CACHE_DIR / f"{tag}{'_fast' if FAST else ''}.npz"
     if path.exists():
         return T2Vec.load(path)
-    model = T2Vec(config)
-    model.fit(train_trips)
+    registry = MetricsRegistry()
+    model = T2Vec(config, registry=registry)
+    model.fit(train_trips, callbacks=[ProgressLogger()])
     model.save(path)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_jsonl(registry,
+                RESULTS_DIR / f"train_{tag}{'_fast' if FAST else ''}_metrics.jsonl")
     return model
 
 

@@ -15,7 +15,8 @@ Sub-packages: :mod:`repro.nn` (numpy autograd + GRU substrate),
 :mod:`repro.spatial` (grid + hot-cell vocabulary), :mod:`repro.data`
 (synthetic city, transforms, batching), :mod:`repro.baselines`
 (EDR/LCSS/EDwP/... comparison measures), :mod:`repro.core` (the t2vec
-model), and :mod:`repro.eval` (the paper's experiment harness).
+model), :mod:`repro.eval` (the paper's experiment harness), and
+:mod:`repro.telemetry` (metrics registry, spans, trainer callbacks).
 """
 
 from .core import (ExactIndex, LSHIndex, LossSpec, T2Vec, T2VecConfig,
@@ -23,25 +24,34 @@ from .core import (ExactIndex, LSHIndex, LossSpec, T2Vec, T2VecConfig,
 from .data import (SyntheticCity, Trajectory, alternating_split, distort,
                    downsample, harbin_like, porto_like)
 from .spatial import CellVocabulary, Grid, Projection
+from .telemetry import (Callback, MetricsRegistry, ProgressLogger, Span,
+                        Timer, get_registry, set_registry)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Callback",
     "CellVocabulary",
     "ExactIndex",
     "Grid",
     "LSHIndex",
     "LossSpec",
+    "MetricsRegistry",
+    "ProgressLogger",
     "Projection",
+    "Span",
     "SyntheticCity",
     "T2Vec",
     "T2VecConfig",
+    "Timer",
     "TrainingConfig",
     "Trajectory",
     "alternating_split",
     "distort",
     "downsample",
+    "get_registry",
     "harbin_like",
     "porto_like",
+    "set_registry",
     "__version__",
 ]

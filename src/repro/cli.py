@@ -7,12 +7,17 @@ Wraps the library's main workflows for shell use:
 * ``encode``   — embed an archive into vectors with a trained model.
 * ``knn``      — query the k most similar trajectories.
 * ``evaluate`` — run the most-similar-search mean-rank experiment.
+* ``stats``    — summarize a metrics JSONL file written by the above.
 
 Every command reads/writes plain ``.npz`` files, so the steps compose::
 
     python -m repro generate --city porto --trips 400 --out trips.npz
     python -m repro train --data trips.npz --out model.npz --epochs 8
     python -m repro knn --model model.npz --data trips.npz --query 0 --k 5
+
+``train``/``encode``/``knn``/``evaluate`` accept ``--metrics-out FILE``
+to dump the run's telemetry (loss curve, tokens/sec, latency histograms,
+cache hit counters) as JSONL; ``repro stats --metrics FILE`` renders it.
 """
 
 from __future__ import annotations
@@ -51,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--progress", action="store_true",
+                       help="print a per-epoch progress line to stderr")
 
     encode = sub.add_parser("encode", help="embed an archive into vectors")
     encode.add_argument("--model", required=True)
@@ -72,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--dropping-rate", type=float, default=0.0)
     evaluate.add_argument("--distorting-rate", type=float, default=0.0)
     evaluate.add_argument("--seed", type=int, default=7)
+
+    for command in (train, encode, knn, evaluate):
+        command.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="write this run's telemetry as JSONL (see `repro stats`)")
+
+    stats = sub.add_parser(
+        "stats", help="summarize a metrics JSONL file (--metrics-out)")
+    stats.add_argument("--metrics", required=True,
+                       help="metrics JSONL written by --metrics-out")
+    stats.add_argument("--width", type=int, default=60,
+                       help="chart width for gauge-history curves")
     return parser
 
 
@@ -109,7 +128,11 @@ def _cmd_train(args) -> int:
         seed=args.seed,
     )
     model = T2Vec(config)
-    result = model.fit(trips)
+    callbacks = []
+    if args.progress:
+        from .telemetry import ProgressLogger
+        callbacks.append(ProgressLogger())
+    result = model.fit(trips, callbacks=callbacks)
     model.save(args.out)
     best = (f"{result.best_val_loss:.4f}"
             if np.isfinite(result.best_val_loss) else "n/a")
@@ -169,18 +192,49 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    import math
+
+    from .telemetry import cache_hit_rate, read_jsonl, summarize
+    try:
+        records = read_jsonl(args.metrics)
+    except FileNotFoundError:
+        print(f"error: no such metrics file: {args.metrics}", file=sys.stderr)
+        return 2
+    print(summarize(records, width=args.width))
+    hit_rate = cache_hit_rate(records)
+    if not math.isnan(hit_rate):
+        print(f"\nencode cache hit rate: {hit_rate:.1%}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "encode": _cmd_encode,
     "knn": _cmd_knn,
     "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .telemetry import MetricsRegistry, set_registry, write_jsonl
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # Each CLI invocation gets a fresh default registry so --metrics-out
+    # captures exactly this run (and repeated main() calls don't mix).
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        code = _COMMANDS[args.command](args)
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out and code == 0:
+            count = write_jsonl(registry, metrics_out)
+            print(f"wrote {metrics_out}: {count} metric records")
+        return code
+    finally:
+        set_registry(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

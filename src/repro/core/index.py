@@ -15,15 +15,22 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import MetricsRegistry, get_registry
+
 
 class ExactIndex:
     """Brute-force Euclidean k-NN over a matrix of vectors."""
 
-    def __init__(self, vectors: np.ndarray):
+    def __init__(self, vectors: np.ndarray,
+                 registry: Optional[MetricsRegistry] = None):
         vectors = np.asarray(vectors, dtype=float)
         if vectors.ndim != 2:
             raise ValueError(f"vectors must be (n, d), got {vectors.shape}")
         self.vectors = vectors
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry or get_registry()
 
     def __len__(self) -> int:
         return len(self.vectors)
@@ -34,11 +41,14 @@ class ExactIndex:
 
     def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(indices, distances)`` of the k nearest vectors."""
-        dists = self.distances(query)
-        k = min(k, len(dists))
-        idx = np.argpartition(dists, k - 1)[:k]
-        order = np.argsort(dists[idx], kind="stable")
-        return idx[order], dists[idx[order]]
+        reg = self._registry()
+        reg.counter("index.exact.queries").inc()
+        with reg.span("index.exact.knn"):
+            dists = self.distances(query)
+            k = min(k, len(dists))
+            idx = np.argpartition(dists, k - 1)[:k]
+            order = np.argsort(dists[idx], kind="stable")
+            return idx[order], dists[idx[order]]
 
 
 class LSHIndex:
@@ -52,7 +62,9 @@ class LSHIndex:
     """
 
     def __init__(self, vectors: np.ndarray, num_tables: int = 8,
-                 num_bits: int = 12, seed: int = 0):
+                 num_bits: int = 12, seed: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry
         vectors = np.asarray(vectors, dtype=float)
         if vectors.ndim != 2:
             raise ValueError(f"vectors must be (n, d), got {vectors.shape}")
@@ -90,12 +102,17 @@ class LSHIndex:
 
     def knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate k-NN: exact re-ranking of LSH candidates."""
-        query = np.asarray(query, dtype=float).reshape(-1)
-        cand = self.candidates(query)
-        if len(cand) < k:  # not enough candidates: degrade to exact scan
-            cand = np.arange(len(self.vectors))
-        dists = np.sqrt(((self.vectors[cand] - query[None, :]) ** 2).sum(axis=1))
-        k = min(k, len(cand))
-        idx = np.argpartition(dists, k - 1)[:k]
-        order = np.argsort(dists[idx], kind="stable")
-        return cand[idx[order]], dists[idx[order]]
+        reg = self.registry or get_registry()
+        reg.counter("index.lsh.queries").inc()
+        with reg.span("index.lsh.knn"):
+            query = np.asarray(query, dtype=float).reshape(-1)
+            cand = self.candidates(query)
+            if len(cand) < k:  # not enough candidates: degrade to exact scan
+                cand = np.arange(len(self.vectors))
+                reg.counter("index.lsh.fallback_scans").inc()
+            reg.histogram("index.lsh.candidates").observe(len(cand))
+            dists = np.sqrt(((self.vectors[cand] - query[None, :]) ** 2).sum(axis=1))
+            k = min(k, len(cand))
+            idx = np.argpartition(dists, k - 1)[:k]
+            order = np.argsort(dists[idx], kind="stable")
+            return cand[idx[order]], dists[idx[order]]

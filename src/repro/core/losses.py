@@ -8,6 +8,7 @@ evaluates the chosen loss over a flattened batch of decoder states.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -46,6 +47,19 @@ class LossSpec:
             raise ValueError("k_nearest must be >= 1")
         if self.noise < 1:
             raise ValueError("noise must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LossSpec":
+        """Build from :meth:`to_dict` output; unknown keys are rejected."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown LossSpec keys: {sorted(unknown)}")
+        return cls(**data)
 
 
 def sequence_loss(

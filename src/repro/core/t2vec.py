@@ -16,13 +16,20 @@ seq2seq training with the selected loss (L1 / L2 / L3).
 
 :class:`T2Vec` implements :class:`~repro.baselines.base.TrajectoryDistance`,
 so the evaluation harness treats it exactly like the baselines.
+
+Observability: ``fit`` accepts trainer ``callbacks``; encoding and the
+pipeline phases record latency histograms, cache hit counters, and spans
+into a :class:`~repro.telemetry.MetricsRegistry` (the process default
+unless one is passed to the constructor).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +41,7 @@ from ..data.trajectory import Trajectory
 from ..nn.serialization import load_checkpoint, save_checkpoint
 from ..spatial.grid import Grid
 from ..spatial.vocab import CellVocabulary
+from ..telemetry import Callback, MetricsRegistry, get_registry
 from .cell_embedding import CellEmbeddingConfig, CellEmbeddingTrainer
 from .encoder_decoder import EncoderDecoder, ModelConfig
 from .losses import LossSpec
@@ -58,7 +66,47 @@ class T2VecConfig:
     distorting_rates: tuple = DEFAULT_DISTORTING_RATES
     training: TrainingConfig = TrainingConfig()
     val_fraction: float = 0.1
+    encode_cache_size: int = 100_000    # LRU cap on cached encodings
     seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict covering *every* field, nested configs included.
+
+        ``T2VecConfig.from_dict(cfg.to_dict()) == cfg`` holds, so a saved
+        model can be re-``fit`` with an identical configuration.
+        """
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, LossSpec):
+                value = value.to_dict()
+            elif isinstance(value, TrainingConfig):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "T2VecConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Missing keys fall back to the dataclass defaults (older
+        checkpoints carry partial configs); unknown keys are rejected.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown T2VecConfig keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "loss" in kwargs and isinstance(kwargs["loss"], dict):
+            kwargs["loss"] = LossSpec.from_dict(kwargs["loss"])
+        if "training" in kwargs and isinstance(kwargs["training"], dict):
+            kwargs["training"] = TrainingConfig.from_dict(kwargs["training"])
+        for key in ("dropping_rates", "distorting_rates"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
 
 
 class T2Vec(TrajectoryDistance):
@@ -66,26 +114,34 @@ class T2Vec(TrajectoryDistance):
 
     name = "t2vec"
 
-    def __init__(self, config: T2VecConfig = T2VecConfig()):
+    def __init__(self, config: T2VecConfig = T2VecConfig(),
+                 registry: Optional[MetricsRegistry] = None):
         self.config = config
+        self.registry = registry
         self.grid: Optional[Grid] = None
         self.vocab: Optional[CellVocabulary] = None
         self.model: Optional[EncoderDecoder] = None
         self.last_result: Optional[TrainingResult] = None
-        self._encodings: Dict[bytes, np.ndarray] = {}
+        self._encodings: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         self._rng = np.random.default_rng(config.seed)
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry or get_registry()
 
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
     def fit(self, trajectories: Sequence[Trajectory],
-            validation: Optional[Sequence[Trajectory]] = None) -> TrainingResult:
+            validation: Optional[Sequence[Trajectory]] = None,
+            callbacks: Sequence[Callback] = ()) -> TrainingResult:
         """Run the full training pipeline on a trajectory archive.
 
         When ``validation`` is omitted, the last ``val_fraction`` of the
         input is held out (the paper splits by starting timestamp, which
-        for our generators is the list order).
+        for our generators is the list order).  ``callbacks`` are passed
+        straight to :meth:`Trainer.fit`.
         """
+        reg = self._registry()
         trajectories = list(trajectories)
         if len(trajectories) < 2:
             raise ValueError("fit needs at least two trajectories")
@@ -94,13 +150,19 @@ class T2Vec(TrajectoryDistance):
             validation = trajectories[-n_val:]
             trajectories = trajectories[:-n_val]
 
-        self._build_vocabulary(trajectories)
-        self._build_model()
-        train_ds, val_ds = self._build_datasets(trajectories, validation)
+        with reg.span("t2vec.fit", record_histogram=False):
+            with reg.span("t2vec.build_vocab", record_histogram=False):
+                self._build_vocabulary(trajectories)
+            with reg.span("t2vec.build_model", record_histogram=False):
+                self._build_model()
+            with reg.span("t2vec.build_pairs", record_histogram=False):
+                train_ds, val_ds = self._build_datasets(trajectories,
+                                                        validation)
 
-        trainer = Trainer(self.model, self.vocab, self.config.loss,
-                          self.config.training)
-        self.last_result = trainer.fit(train_ds, val_ds)
+            trainer = Trainer(self.model, self.vocab, self.config.loss,
+                              self.config.training, registry=self.registry)
+            self.last_result = trainer.fit(train_ds, validation=val_ds,
+                                           callbacks=callbacks)
         self._encodings.clear()
         return self.last_result
 
@@ -160,18 +222,59 @@ class T2Vec(TrajectoryDistance):
 
     def encode_many(self, trajectories: Sequence[Trajectory],
                     batch_size: int = 256) -> np.ndarray:
-        """Embed many trajectories (O(n) each); cached per object identity."""
+        """Embed many trajectories (O(n) each); cached by content key.
+
+        The cache is a bounded LRU (``config.encode_cache_size`` entries);
+        hits, misses, and evictions are recorded in the metrics registry,
+        along with a per-trajectory encode-latency histogram.
+        """
         self._require_fitted()
-        missing = list({t.cache_key(): t for t in trajectories
-                        if t.cache_key() not in self._encodings}.values())
+        reg = self._registry()
+        cache = self._encodings
+        unique: "OrderedDict[bytes, Trajectory]" = OrderedDict(
+            (t.cache_key(), t) for t in trajectories)
+        # Requested vectors are kept in a local dict as well, so results
+        # survive even when the LRU cap evicts them within this call.
+        resolved: Dict[bytes, np.ndarray] = {}
+        missing: List[Trajectory] = []
+        for key, traj in unique.items():
+            if key in cache:
+                cache.move_to_end(key)
+                resolved[key] = cache[key]
+                reg.counter("encode.cache_hits").inc()
+            else:
+                missing.append(traj)
+                reg.counter("encode.cache_misses").inc()
+
         for start in range(0, len(missing), batch_size):
             chunk = missing[start:start + batch_size]
+            chunk_start = time.perf_counter()
             sequences = [tokenize(t, self.vocab) for t in chunk]
             batch, mask = pad_batch(sequences)
             vectors = self.model.represent(batch, mask)
+            chunk_time = time.perf_counter() - chunk_start
+            reg.histogram("encode.latency_s").observe(chunk_time / len(chunk))
             for traj, vec in zip(chunk, vectors):
-                self._encodings[traj.cache_key()] = vec
-        return np.stack([self._encodings[t.cache_key()] for t in trajectories])
+                key = traj.cache_key()
+                resolved[key] = vec
+                cache[key] = vec
+                cache.move_to_end(key)
+            self._evict(reg)
+        return np.stack([resolved[t.cache_key()] for t in trajectories])
+
+    def _evict(self, reg: MetricsRegistry) -> None:
+        cap = self.config.encode_cache_size
+        if cap is None or cap < 1:
+            return
+        while len(self._encodings) > cap:
+            self._encodings.popitem(last=False)
+            reg.counter("encode.cache_evictions").inc()
+
+    @property
+    def cache_info(self) -> Dict[str, int]:
+        """Current size and capacity of the encoding LRU cache."""
+        return {"size": len(self._encodings),
+                "capacity": self.config.encode_cache_size}
 
     def distance(self, a: Trajectory, b: Trajectory) -> float:
         va, vb = self.encode_many([a, b])
@@ -212,7 +315,12 @@ class T2Vec(TrajectoryDistance):
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Write model weights, vocabulary, and configuration to one file."""
+        """Write model weights, vocabulary, and configuration to one file.
+
+        The metadata embeds ``config.to_dict()`` verbatim, so *every*
+        field (nested ``TrainingConfig`` and ``LossSpec`` included)
+        survives a save → load roundtrip.
+        """
         self._require_fitted()
         state = self.model.state_dict()
         state["_vocab.hot_cells"] = self.vocab.hot_cells
@@ -224,43 +332,21 @@ class T2Vec(TrajectoryDistance):
                 "max_x": self.grid.max_x, "max_y": self.grid.max_y,
                 "cell_size": self.grid.cell_size,
             },
-            "config": {
-                "cell_size": self.config.cell_size,
-                "min_hits": self.config.min_hits,
-                "embedding_size": self.config.embedding_size,
-                "hidden_size": self.config.hidden_size,
-                "num_layers": self.config.num_layers,
-                "dropout": self.config.dropout,
-                "rnn_type": self.config.rnn_type,
-                "loss": {
-                    "kind": self.config.loss.kind,
-                    "k_nearest": self.config.loss.k_nearest,
-                    "theta": self.config.loss.theta,
-                    "noise": self.config.loss.noise,
-                },
-                "seed": self.config.seed,
-            },
+            "config": self.config.to_dict(),
         }
         save_checkpoint(path, state, meta)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "T2Vec":
-        """Restore a model written by :meth:`save`."""
+        """Restore a model written by :meth:`save`.
+
+        Older checkpoints with partial config metadata load with default
+        values for the missing fields.
+        """
         state, meta = load_checkpoint(path)
         if meta is None:
             raise ValueError(f"{path} has no t2vec metadata")
-        cfg_meta = meta["config"]
-        config = T2VecConfig(
-            cell_size=cfg_meta["cell_size"],
-            min_hits=cfg_meta["min_hits"],
-            embedding_size=cfg_meta["embedding_size"],
-            hidden_size=cfg_meta["hidden_size"],
-            num_layers=cfg_meta["num_layers"],
-            dropout=cfg_meta["dropout"],
-            rnn_type=cfg_meta.get("rnn_type", "gru"),
-            loss=LossSpec(**cfg_meta["loss"]),
-            seed=cfg_meta["seed"],
-        )
+        config = T2VecConfig.from_dict(meta["config"])
         instance = cls(config)
         grid_meta = meta["grid"]
         instance.grid = Grid(**grid_meta)

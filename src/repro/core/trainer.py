@@ -5,19 +5,27 @@ learning rate 1e-3, gradient clipping at global norm 5, teacher forcing,
 and early stopping on a validation set ("training is terminated if the
 loss in the validation dataset does not decrease in 20,000 successive
 iterations" — here expressed as a patience in validation rounds).
+
+The loop is observable: :meth:`Trainer.fit` accepts a list of
+:class:`~repro.telemetry.Callback` hooks and records per-epoch loss,
+tokens/sec, and wall-clock into a :class:`~repro.telemetry.MetricsRegistry`
+(the process default unless one is passed explicitly).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataset import Batch, TokenPairDataset
 from ..nn import Adam, clip_grad_norm
 from ..spatial.proximity import ProximityVocabulary
+from ..telemetry import (Callback, CallbackList, MetricsRegistry,
+                         StopTraining, get_registry)
 from .encoder_decoder import EncoderDecoder
 from .losses import LossSpec, sequence_loss
 
@@ -34,6 +42,19 @@ class TrainingConfig:
     eval_batches: int = 20         # validation mini-batches per round
     seed: int = 0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrainingConfig":
+        """Build from :meth:`to_dict` output; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TrainingConfig keys: {sorted(unknown)}")
+        return cls(**data)
+
 
 @dataclass
 class TrainingResult:
@@ -44,8 +65,13 @@ class TrainingResult:
     best_val_loss: float = float("inf")
     epochs_run: int = 0
     steps: int = 0
+    tokens: int = 0                # real (unpadded) positions processed
+    tokens_per_s: float = 0.0      # tokens / wall_time_s
     wall_time_s: float = 0.0
     stopped_early: bool = False
+
+
+_POSITIONAL_FIT_WARNED = False
 
 
 class Trainer:
@@ -53,49 +79,117 @@ class Trainer:
 
     def __init__(self, model: EncoderDecoder, vocab: ProximityVocabulary,
                  loss_spec: LossSpec = LossSpec(),
-                 config: TrainingConfig = TrainingConfig()):
+                 config: TrainingConfig = TrainingConfig(),
+                 registry: Optional[MetricsRegistry] = None):
         self.model = model
         self.vocab = vocab
         self.loss_spec = loss_spec
         self.config = config
+        self.registry = registry
         self._rng = np.random.default_rng(config.seed)
         self.optimizer = Adam(model.parameters(), lr=config.lr)
+
+    def _registry(self, override: Optional[MetricsRegistry] = None
+                  ) -> MetricsRegistry:
+        return override or self.registry or get_registry()
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def fit(self, train: TokenPairDataset,
-            validation: Optional[TokenPairDataset] = None) -> TrainingResult:
-        """Train until ``max_epochs`` or early stopping; restores best weights."""
+    def fit(self, train: TokenPairDataset, *legacy_args,
+            validation: Optional[TokenPairDataset] = None,
+            callbacks: Sequence[Callback] = (),
+            registry: Optional[MetricsRegistry] = None) -> TrainingResult:
+        """Train until ``max_epochs``, early stopping, or a callback's
+        :class:`~repro.telemetry.StopTraining`; restores best weights.
+
+        ``validation`` and later arguments are keyword-only; a single
+        extra positional argument is still accepted as ``validation``
+        for backward compatibility (deprecated).
+        """
+        if legacy_args:
+            global _POSITIONAL_FIT_WARNED
+            if len(legacy_args) > 1 or validation is not None:
+                raise TypeError("fit() accepts at most one positional "
+                                "validation dataset")
+            if not _POSITIONAL_FIT_WARNED:
+                warnings.warn(
+                    "passing validation positionally to Trainer.fit is "
+                    "deprecated; use fit(train, validation=...)",
+                    DeprecationWarning, stacklevel=2)
+                _POSITIONAL_FIT_WARNED = True
+            validation = legacy_args[0]
+
+        reg = self._registry(registry)
+        hooks = CallbackList(list(callbacks))
         result = TrainingResult()
         best_state: Optional[Dict[str, np.ndarray]] = None
         bad_rounds = 0
         start = time.perf_counter()
 
-        for epoch in range(self.config.max_epochs):
-            epoch_losses = []
-            for batch in train.batches(self.config.batch_size, self._rng):
-                epoch_losses.append(self.train_step(batch))
-                result.steps += 1
-            result.train_losses.append(float(np.mean(epoch_losses)))
-            result.epochs_run = epoch + 1
+        hooks.on_fit_start(self)
+        try:
+            with reg.span("fit", record_histogram=False):
+                for epoch in range(self.config.max_epochs):
+                    hooks.on_epoch_start(self, epoch)
+                    epoch_losses: List[float] = []
+                    epoch_tokens = 0
+                    epoch_start = time.perf_counter()
+                    with reg.span("fit.epoch"):
+                        for batch in train.batches(self.config.batch_size,
+                                                   self._rng):
+                            loss = self.train_step(batch)
+                            tokens = int(batch.src_mask.sum()
+                                         + batch.tgt_mask.sum())
+                            epoch_losses.append(loss)
+                            epoch_tokens += tokens
+                            reg.counter("train.steps").inc()
+                            reg.counter("train.tokens").inc(tokens)
+                            hooks.on_batch_end(self, result.steps, loss,
+                                               tokens)
+                            result.steps += 1
+                    epoch_time = time.perf_counter() - epoch_start
+                    train_loss = float(np.mean(epoch_losses))
+                    result.train_losses.append(train_loss)
+                    result.epochs_run = epoch + 1
+                    result.tokens += epoch_tokens
 
-            if validation is not None and len(validation):
-                val_loss = self.evaluate(validation)
-                result.val_losses.append(val_loss)
-                if val_loss < result.best_val_loss - 1e-6:
-                    result.best_val_loss = val_loss
-                    best_state = self.model.state_dict()
-                    bad_rounds = 0
-                else:
-                    bad_rounds += 1
-                    if bad_rounds >= self.config.patience:
+                    val_loss: Optional[float] = None
+                    if validation is not None and len(validation):
+                        val_loss = self.evaluate(validation)
+                        result.val_losses.append(val_loss)
+                        reg.gauge("train.val_loss").set(val_loss)
+                        if val_loss < result.best_val_loss - 1e-6:
+                            result.best_val_loss = val_loss
+                            best_state = self.model.state_dict()
+                            bad_rounds = 0
+                        else:
+                            bad_rounds += 1
+
+                    tokens_per_s = (epoch_tokens / epoch_time
+                                    if epoch_time > 0 else 0.0)
+                    reg.gauge("train.epoch_loss").set(train_loss)
+                    reg.gauge("train.tokens_per_s").set(tokens_per_s)
+                    reg.gauge("train.epoch_time_s").set(epoch_time)
+                    hooks.on_epoch_end(self, epoch, {
+                        "train_loss": train_loss,
+                        "val_loss": val_loss,
+                        "tokens_per_s": tokens_per_s,
+                        "epoch_time_s": epoch_time,
+                        "steps": result.steps,
+                    })
+                    if val_loss is not None and bad_rounds >= self.config.patience:
                         result.stopped_early = True
                         break
+        except StopTraining:
+            result.stopped_early = True
 
         if best_state is not None:
             self.model.load_state_dict(best_state)
         result.wall_time_s = time.perf_counter() - start
+        result.tokens_per_s = (result.tokens / result.wall_time_s
+                               if result.wall_time_s > 0 else 0.0)
+        hooks.on_fit_end(self, result)
         return result
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ import numpy as np
 from ..baselines.base import TrajectoryDistance
 from ..data.trajectory import Trajectory
 from ..data.transforms import distort, downsample
+from ..telemetry import get_registry
 
 
 def cross_distance_deviation(
@@ -40,18 +41,21 @@ def cross_distance_deviation(
         raise ValueError(f"mode must be 'dropping' or 'distorting', got {mode}")
     rng = rng or np.random.default_rng()
     deviations: List[float] = []
-    for tb, tb_prime in pairs:
-        base = measure.distance(tb, tb_prime)
-        if base <= 1e-9:
-            continue
-        if mode == "dropping":
-            ta = downsample(tb, rate, rng)
-            ta_prime = downsample(tb_prime, rate, rng)
-        else:
-            ta = distort(tb, rate, rng)
-            ta_prime = distort(tb_prime, rate, rng)
-        degraded = measure.distance(ta, ta_prime)
-        deviations.append(abs(degraded - base) / base)
+    reg = get_registry()
+    with reg.span("eval.cross_deviation", record_histogram=False,
+                  measure=measure.name, rate=rate, mode=mode):
+        for tb, tb_prime in pairs:
+            base = measure.distance(tb, tb_prime)
+            if base <= 1e-9:
+                continue
+            if mode == "dropping":
+                ta = downsample(tb, rate, rng)
+                ta_prime = downsample(tb_prime, rate, rng)
+            else:
+                ta = distort(tb, rate, rng)
+                ta_prime = distort(tb_prime, rate, rng)
+            degraded = measure.distance(ta, ta_prime)
+            deviations.append(abs(degraded - base) / base)
     if not deviations:
         raise ValueError("no valid pair had a nonzero base distance")
     return float(np.mean(deviations))

@@ -16,6 +16,7 @@ import numpy as np
 from ..baselines.base import TrajectoryDistance
 from ..data.trajectory import Trajectory
 from ..data.transforms import degrade
+from ..telemetry import get_registry
 
 
 def ground_truth_knn(measure: TrajectoryDistance,
@@ -42,6 +43,7 @@ def knn_precision(
     not depend on the degradation rate, so sweeps reuse it).
     """
     rng = rng or np.random.default_rng()
+    reg = get_registry()
     if truth is None:
         truth = ground_truth_knn(measure, queries, database, k)
     degraded_queries = [degrade(q, dropping_rate, distorting_rate, rng)
@@ -49,9 +51,12 @@ def knn_precision(
     degraded_db = [degrade(t, dropping_rate, distorting_rate, rng)
                    for t in database]
     precisions: List[float] = []
-    for degraded_query, truth_set in zip(degraded_queries, truth):
-        found = set(measure.knn(degraded_query, degraded_db, k).tolist())
-        precisions.append(len(truth_set & found) / k)
+    with reg.span("eval.knn_precision", record_histogram=False,
+                  measure=measure.name, k=k):
+        for degraded_query, truth_set in zip(degraded_queries, truth):
+            found = set(measure.knn(degraded_query, degraded_db, k).tolist())
+            precisions.append(len(truth_set & found) / k)
+            reg.counter("eval.precision_queries").inc()
     return float(np.mean(precisions))
 
 

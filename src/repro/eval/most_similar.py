@@ -24,6 +24,7 @@ import numpy as np
 from ..baselines.base import TrajectoryDistance
 from ..data.trajectory import Trajectory
 from ..data.transforms import alternating_split, degrade
+from ..telemetry import get_registry
 
 
 @dataclass(frozen=True)
@@ -79,9 +80,15 @@ def build_setup(
 
 def mean_rank(measure: TrajectoryDistance, setup: MostSimilarSetup) -> float:
     """Mean rank of the true counterpart over all queries (lower = better)."""
+    reg = get_registry()
     ranks = []
-    for query, target in zip(setup.queries, setup.target_indices):
-        ranks.append(measure.rank_of(query, setup.database, int(target)))
+    with reg.span("eval.mean_rank", record_histogram=False,
+                  measure=measure.name, queries=len(setup.queries)):
+        for query, target in zip(setup.queries, setup.target_indices):
+            with reg.span("eval.rank_query"):
+                ranks.append(measure.rank_of(query, setup.database,
+                                             int(target)))
+            reg.counter("eval.queries").inc()
     return float(np.mean(ranks))
 
 

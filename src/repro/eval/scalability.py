@@ -15,6 +15,7 @@ import numpy as np
 
 from ..baselines.base import TrajectoryDistance
 from ..data.trajectory import Trajectory
+from ..telemetry import get_registry
 
 
 def time_knn_queries(
@@ -28,14 +29,26 @@ def time_knn_queries(
 
     ``warmup`` runs once before timing — used to let encoder-based
     measures build their (offline) vector caches so the timed section
-    reflects online query cost only.
+    reflects online query cost only.  Per-query latency also feeds the
+    ``eval.knn_query_s`` histogram in the default metrics registry.
     """
+    reg = get_registry()
     if warmup is not None:
-        warmup()
-    start = time.perf_counter()
+        with reg.span("eval.knn_warmup", record_histogram=False,
+                      measure=measure.name, db_size=len(database)):
+            warmup()
+    histogram = reg.histogram("eval.knn_query_s")
+    total = 0.0
     for query in queries:
+        start = time.perf_counter()
         measure.knn(query, database, k)
-    return (time.perf_counter() - start) / len(queries)
+        elapsed = time.perf_counter() - start
+        histogram.observe(elapsed)
+        total += elapsed
+    mean_s = total / len(queries)
+    if mean_s > 0:
+        reg.gauge("eval.knn_queries_per_s").set(1.0 / mean_s)
+    return mean_s
 
 
 def experiment_scalability(

@@ -1,0 +1,42 @@
+"""Dependency-free observability for the t2vec reproduction.
+
+* :class:`MetricsRegistry` — counters, gauges, histograms (p50/p95/p99),
+  plus nested timing spans; a process-wide default lives behind
+  :func:`get_registry` / :func:`set_registry`.
+* :class:`Timer` / :meth:`MetricsRegistry.span` — wall-clock timing.
+* :mod:`~repro.telemetry.export` — JSONL/dict exporters and the text
+  summary used by ``python -m repro stats``.
+* :class:`Callback` / :class:`ProgressLogger` — the trainer hook API
+  (``Trainer.fit(..., callbacks=[...])``).
+
+See ``docs/observability.md`` for the full metric schema.
+"""
+
+from .callbacks import (Callback, CallbackList, HistoryCallback,
+                        ProgressLogger, StopTraining)
+from .export import (cache_hit_rate, read_jsonl, summarize, to_records,
+                     write_jsonl)
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry, Span,
+                       get_registry, set_registry)
+from .timer import Timer
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistoryCallback",
+    "MetricsRegistry",
+    "ProgressLogger",
+    "Span",
+    "StopTraining",
+    "Timer",
+    "cache_hit_rate",
+    "get_registry",
+    "read_jsonl",
+    "set_registry",
+    "summarize",
+    "to_records",
+    "write_jsonl",
+]

@@ -1,0 +1,124 @@
+"""The trainer callback API.
+
+:class:`Callback` is the extension point of :meth:`repro.core.Trainer.fit`:
+subclass it (all hooks are no-ops) and pass instances via
+``fit(..., callbacks=[...])``.  Hook order per fit::
+
+    on_fit_start
+      on_epoch_start            # once per epoch
+        on_batch_end            # once per optimizer step
+      on_epoch_end              # logs: train_loss, val_loss, tokens_per_s,
+                                #       epoch_time_s, steps
+    on_fit_end
+
+Hooks receive the :class:`~repro.core.Trainer` itself, so a callback can
+inspect the model, adjust the optimizer, or stop training by raising
+:class:`StopTraining`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional
+
+
+class StopTraining(Exception):
+    """Raise inside a callback hook to end :meth:`Trainer.fit` cleanly."""
+
+
+class Callback:
+    """Base class for trainer callbacks; every hook defaults to a no-op."""
+
+    def on_fit_start(self, trainer) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        """Called at the top of each epoch (0-based)."""
+
+    def on_batch_end(self, trainer, step: int, loss: float,
+                     tokens: int) -> None:
+        """Called after each optimizer step.
+
+        ``step`` counts from 0 across the whole fit; ``tokens`` is the
+        number of real (unpadded) source+target positions in the batch.
+        """
+
+    def on_epoch_end(self, trainer, epoch: int,
+                     logs: Dict[str, Any]) -> None:
+        """Called after each epoch with that epoch's derived metrics."""
+
+    def on_fit_end(self, trainer, result) -> None:
+        """Called once after training (including early stops)."""
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Optional[List[Callback]] = None):
+        self.callbacks = list(callbacks or [])
+
+    def on_fit_start(self, trainer) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_start(trainer)
+
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_start(trainer, epoch)
+
+    def on_batch_end(self, trainer, step: int, loss: float,
+                     tokens: int) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_end(trainer, step, loss, tokens)
+
+    def on_epoch_end(self, trainer, epoch: int,
+                     logs: Dict[str, Any]) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_end(trainer, epoch, logs)
+
+    def on_fit_end(self, trainer, result) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_end(trainer, result)
+
+
+class ProgressLogger(Callback):
+    """Prints one line per epoch: loss, validation loss, and throughput."""
+
+    def __init__(self, stream=None, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.stream = stream
+        self.every = every
+
+    def _print(self, message: str) -> None:
+        print(message, file=self.stream or sys.stderr)
+
+    def on_fit_start(self, trainer) -> None:
+        cfg = trainer.config
+        self._print(f"fit: max_epochs={cfg.max_epochs} "
+                    f"batch_size={cfg.batch_size} lr={cfg.lr}")
+
+    def on_epoch_end(self, trainer, epoch: int,
+                     logs: Dict[str, Any]) -> None:
+        if (epoch + 1) % self.every:
+            return
+        val = logs.get("val_loss")
+        val_text = f" val={val:.4f}" if val is not None else ""
+        self._print(f"epoch {epoch + 1:>3}: loss={logs['train_loss']:.4f}"
+                    f"{val_text} {logs['tokens_per_s']:.0f} tok/s "
+                    f"({logs['epoch_time_s']:.2f}s)")
+
+    def on_fit_end(self, trainer, result) -> None:
+        self._print(f"fit done: {result.epochs_run} epochs, "
+                    f"{result.steps} steps, {result.wall_time_s:.2f}s"
+                    f"{' (early stop)' if result.stopped_early else ''}")
+
+
+class HistoryCallback(Callback):
+    """Accumulates every ``on_epoch_end`` logs dict (handy in tests)."""
+
+    def __init__(self):
+        self.history: List[Dict[str, Any]] = []
+
+    def on_epoch_end(self, trainer, epoch: int,
+                     logs: Dict[str, Any]) -> None:
+        self.history.append(dict(logs, epoch=epoch))

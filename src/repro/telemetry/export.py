@@ -1,0 +1,139 @@
+"""Exporters: registry → JSONL / dict, and a text summary renderer.
+
+The JSONL schema is one JSON object per line with a ``type`` field:
+
+* ``{"type": "counter", "name": ..., "value": ...}``
+* ``{"type": "gauge", "name": ..., "value": ..., "history": [...]}``
+* ``{"type": "histogram", "name": ..., "count": ..., "mean": ...,
+  "min": ..., "max": ..., "p50": ..., "p95": ..., "p99": ...}``
+* ``{"type": "span", "name": ..., "parent": ..., "depth": ...,
+  "start_s": ..., "duration_s": ...}``
+
+:func:`summarize` renders a list of such records back into the repo's
+paper-style text tables (:mod:`repro.eval.reporting`) and ASCII charts
+(:mod:`repro.eval.ascii_chart`) — the same machinery the experiment
+drivers use, so ``repro stats`` output matches the benches.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .registry import MetricsRegistry
+
+Pathish = Union[str, Path]
+
+
+def to_records(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Flat rows for the registry's current state (JSONL schema above)."""
+    return registry.to_records()
+
+
+def write_jsonl(registry: MetricsRegistry, path: Pathish) -> int:
+    """Write one JSON object per line; returns the number of records."""
+    records = to_records(registry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: Pathish) -> List[Dict[str, Any]]:
+    """Load records written by :func:`write_jsonl` (blank lines skipped)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _fmt_value(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if value != 0 and (abs(value) < 0.001 or abs(value) >= 100000):
+        return f"{value:.3e}"
+    return f"{value:.4f}"
+
+
+def summarize(records: Iterable[Dict[str, Any]], width: int = 60) -> str:
+    """Render exported records as text tables plus loss-curve charts."""
+    from ..eval.ascii_chart import line_chart
+    from ..eval.reporting import format_table
+
+    records = list(records)
+    sections: List[str] = []
+
+    counters = [r for r in records if r.get("type") == "counter"]
+    if counters:
+        lines = ["counters"]
+        name_width = max(len(r["name"]) for r in counters)
+        for r in sorted(counters, key=lambda r: r["name"]):
+            lines.append(f"  {r['name'].ljust(name_width)}  "
+                         f"{_fmt_value(r['value'])}")
+        sections.append("\n".join(lines))
+
+    gauges = [r for r in records if r.get("type") == "gauge"]
+    if gauges:
+        lines = ["gauges (last value)"]
+        name_width = max(len(r["name"]) for r in gauges)
+        for r in sorted(gauges, key=lambda r: r["name"]):
+            lines.append(f"  {r['name'].ljust(name_width)}  "
+                         f"{_fmt_value(r['value'])}")
+        sections.append("\n".join(lines))
+
+    histograms = [r for r in records
+                  if r.get("type") == "histogram" and r.get("count", 0) > 0]
+    if histograms:
+        columns = ["count", "mean", "p50", "p95", "p99", "max"]
+        rows = {r["name"]: [float(r.get(c, math.nan)) for c in columns]
+                for r in sorted(histograms, key=lambda r: r["name"])}
+        sections.append(format_table("histograms (seconds unless noted)",
+                                     "histogram", columns, rows, precision=4))
+
+    # Gauge histories with >= 2 points plot as curves (loss trajectories).
+    curves = {r["name"]: [float(v) for v in r.get("history", [])]
+              for r in gauges if len(r.get("history", [])) >= 2}
+    for name, history in sorted(curves.items()):
+        sections.append(line_chart(
+            f"{name} per observation", list(range(1, len(history) + 1)),
+            {name: history}, width=width, height=10))
+
+    spans = [r for r in records if r.get("type") == "span"]
+    if spans:
+        totals: Dict[str, List[float]] = {}
+        for r in spans:
+            totals.setdefault(r["name"], []).append(float(r["duration_s"]))
+        lines = ["spans (total seconds / count)"]
+        name_width = max(len(name) for name in totals)
+        for name, durations in sorted(totals.items()):
+            lines.append(f"  {name.ljust(name_width)}  "
+                         f"{sum(durations):.4f}s / {len(durations)}")
+        sections.append("\n".join(lines))
+
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+def cache_hit_rate(records: Iterable[Dict[str, Any]],
+                   prefix: str = "encode.cache") -> float:
+    """Hit rate implied by ``<prefix>_hits`` / ``<prefix>_misses`` counters."""
+    hits = misses = 0.0
+    for r in records:
+        if r.get("type") != "counter":
+            continue
+        if r.get("name") == f"{prefix}_hits":
+            hits = float(r["value"])
+        elif r.get("name") == f"{prefix}_misses":
+            misses = float(r["value"])
+    total = hits + misses
+    return hits / total if total else math.nan

@@ -1,0 +1,244 @@
+"""Metric primitives and the :class:`MetricsRegistry`.
+
+Dependency-free observability for the reproduction: counters (monotonic
+totals), gauges (last-value with history, e.g. per-epoch loss), and
+histograms (latency distributions with p50/p95/p99).  A registry also
+owns a stack of timing :class:`Span`s (see :mod:`repro.telemetry.timer`)
+so nested phases of a run ("fit" > "fit.epoch" > "train.step") can be
+reconstructed from the export.
+
+Instrumented code takes an optional ``registry`` argument; ``None`` means
+the process-wide default from :func:`get_registry`, so casual callers get
+metrics without plumbing anything through.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing total (events, tokens, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A last-value metric that remembers its history.
+
+    ``set`` appends to ``history``, so a gauge doubles as a cheap time
+    series — per-epoch training loss, tokens/sec per epoch, and so on.
+    """
+
+    __slots__ = ("name", "history")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.history: List[float] = []
+
+    @property
+    def value(self) -> Optional[float]:
+        return self.history[-1] if self.history else None
+
+    def set(self, value: float) -> None:
+        self.history.append(float(value))
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"type": "gauge", "name": self.name, "value": self.value,
+                "history": list(self.history)}
+
+
+class Histogram:
+    """A distribution of observations with exact percentiles.
+
+    Observations are kept verbatim (runs here are thousands of events,
+    not millions), so percentiles are exact order statistics computed
+    with linear interpolation, matching ``numpy.percentile``'s default.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) by linear interpolation."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        weight = rank - lo
+        return ordered[lo] * (1 - weight) + ordered[hi] * weight
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"type": "histogram", "name": self.name}
+        record.update(self.summary())
+        return record
+
+
+@dataclass
+class Span:
+    """One completed timed section (see :meth:`MetricsRegistry.span`)."""
+
+    name: str
+    parent: Optional[str] = None
+    depth: int = 0
+    start_s: float = 0.0          # offset from the registry's epoch
+    duration_s: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        record = {"type": "span", "name": self.name, "parent": self.parent,
+                  "depth": self.depth, "start_s": self.start_s,
+                  "duration_s": self.duration_s}
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        return record
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges, histograms, and completed spans.
+
+    Metric accessors are create-on-first-use::
+
+        reg = MetricsRegistry()
+        reg.counter("encode.cache_hits").inc()
+        reg.gauge("train.epoch_loss").set(1.25)
+        reg.histogram("encode.latency_s").observe(0.004)
+        with reg.span("fit"):
+            with reg.span("fit.epoch"):
+                ...
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.spans: List[Span] = []
+        self._span_stack: List[str] = []  # names of open spans (nesting)
+
+    # -- accessors ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def span(self, name: str, record_histogram: bool = True, **meta):
+        """A context manager timing a (possibly nested) section.
+
+        Every completed span is appended to :attr:`spans`; with
+        ``record_histogram`` its duration also feeds the histogram of the
+        same name, so repeated spans ("index.knn") get p50/p95 for free.
+        """
+        from .timer import SpanTimer  # local import avoids a module cycle
+        return SpanTimer(self, name, record_histogram=record_histogram,
+                         meta=meta)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def gauges(self) -> Dict[str, Optional[float]]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    @property
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {name: h.summary()
+                for name, h in sorted(self._histograms.items())}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Current state as one nested dict (counters/gauges/histograms)."""
+        return {
+            "counters": self.counters,
+            "gauges": {name: {"value": g.value, "history": list(g.history)}
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": self.histograms,
+            "spans": [span.to_record() for span in self.spans],
+        }
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Flat JSONL-ready rows, one per metric / span."""
+        records: List[Dict[str, Any]] = []
+        for counter in self._counters.values():
+            records.append(counter.to_record())
+        for gauge in self._gauges.values():
+            records.append(gauge.to_record())
+        for histogram in self._histograms.values():
+            records.append(histogram.to_record())
+        for span in self.spans:
+            records.append(span.to_record())
+        return sorted(records, key=lambda r: (r["type"], r["name"]))
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans (open spans survive)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry used when ``registry=None``."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the old one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

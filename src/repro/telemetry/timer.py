@@ -1,0 +1,85 @@
+"""Wall-clock timing: a plain :class:`Timer` and registry-backed spans."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .registry import MetricsRegistry, Span
+
+
+class Timer:
+    """A manual stopwatch, also usable as a context manager::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed_s)
+    """
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self.elapsed_s: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed_s = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed_s
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class SpanTimer:
+    """Context manager created by :meth:`MetricsRegistry.span`.
+
+    Tracks nesting through the registry's span stack: the parent of a
+    span is whatever span was open when it started.  On exit the
+    completed :class:`Span` is appended to ``registry.spans`` and (by
+    default) its duration is observed into the histogram of the same
+    name, so repeated spans get percentiles without extra code.
+    """
+
+    # Registry creation order gives a stable epoch for start offsets.
+    _epoch = time.perf_counter()
+
+    def __init__(self, registry: MetricsRegistry, name: str,
+                 record_histogram: bool = True,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.registry = registry
+        self.name = name
+        self.record_histogram = record_histogram
+        self.meta = dict(meta or {})
+        self._start: Optional[float] = None
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> "SpanTimer":
+        stack = self.registry._span_stack
+        self.span = Span(
+            name=self.name,
+            parent=stack[-1] if stack else None,
+            depth=len(stack),
+            start_s=time.perf_counter() - self._epoch,
+            meta=self.meta,
+        )
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None and self.span is not None
+        self.span.duration_s = time.perf_counter() - self._start
+        stack = self.registry._span_stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.registry.spans.append(self.span)
+        if self.record_histogram:
+            self.registry.histogram(self.name).observe(self.span.duration_s)

@@ -86,3 +86,71 @@ def test_evaluate_reports_mean_rank(model_path, archive_path, capsys):
                  "--dropping-rate", "0.4"])
     assert code == 0
     assert "mean rank" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Telemetry: --metrics-out and `repro stats`
+# ----------------------------------------------------------------------
+def test_train_metrics_out_writes_jsonl(tmp_path, archive_path, capsys):
+    from repro.telemetry import cache_hit_rate, read_jsonl
+    model_out = tmp_path / "model.npz"
+    metrics = tmp_path / "metrics.jsonl"
+    code = main(["train", "--data", str(archive_path),
+                 "--out", str(model_out), "--hidden", "16", "--epochs", "2",
+                 "--min-hits", "3", "--batch-size", "64",
+                 "--metrics-out", str(metrics)])
+    assert code == 0
+    records = read_jsonl(metrics)
+    names = {(r["type"], r["name"]) for r in records}
+    assert ("gauge", "train.epoch_loss") in names
+    assert ("gauge", "train.tokens_per_s") in names
+    assert ("counter", "train.steps") in names
+    assert ("span", "t2vec.fit") in names
+    loss = next(r for r in records
+                if r["type"] == "gauge" and r["name"] == "train.epoch_loss")
+    assert len(loss["history"]) == 2          # one entry per epoch
+
+
+def test_encode_metrics_capture_cache_and_latency(tmp_path, model_path,
+                                                  archive_path, capsys):
+    from repro.telemetry import cache_hit_rate, read_jsonl
+    out = tmp_path / "vectors.npz"
+    metrics = tmp_path / "encode_metrics.jsonl"
+    code = main(["encode", "--model", str(model_path),
+                 "--data", str(archive_path), "--out", str(out),
+                 "--metrics-out", str(metrics)])
+    assert code == 0
+    records = read_jsonl(metrics)
+    latency = next(r for r in records if r["type"] == "histogram"
+                   and r["name"] == "encode.latency_s")
+    assert latency["count"] > 0 and latency["p95"] >= latency["p50"]
+    assert cache_hit_rate(records) == 0.0     # cold cache: all misses
+
+
+def test_stats_renders_metrics_summary(tmp_path, model_path, archive_path,
+                                       capsys):
+    metrics = tmp_path / "knn_metrics.jsonl"
+    code = main(["knn", "--model", str(model_path),
+                 "--data", str(archive_path), "--query", "0", "--k", "3",
+                 "--metrics-out", str(metrics)])
+    assert code == 0
+    capsys.readouterr()
+    assert main(["stats", "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "counters" in out
+    assert "encode.cache_misses" in out
+    assert "encode cache hit rate" in out
+
+
+def test_stats_missing_file_errors(tmp_path, capsys):
+    assert main(["stats", "--metrics", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such metrics file" in capsys.readouterr().err
+
+
+def test_train_progress_flag(tmp_path, archive_path, capsys):
+    model_out = tmp_path / "model_progress.npz"
+    code = main(["train", "--data", str(archive_path),
+                 "--out", str(model_out), "--hidden", "8", "--epochs", "1",
+                 "--min-hits", "3", "--batch-size", "64", "--progress"])
+    assert code == 0
+    assert "epoch   1:" in capsys.readouterr().err

@@ -83,6 +83,46 @@ def test_clustering_on_learned_vectors_beats_chance(mini_model, trips):
     assert purity >= chance
 
 
+def test_full_run_telemetry_acceptance(tmp_path, trips):
+    """The issue's acceptance path: fit + encode_many + knn under one
+    registry produces JSONL with per-epoch loss, tokens/sec, an
+    encode-latency histogram, and cache hit-rate — and `stats` renders it."""
+    from repro import ExactIndex, MetricsRegistry
+    from repro.telemetry import cache_hit_rate, read_jsonl, summarize, write_jsonl
+
+    registry = MetricsRegistry()
+    model = T2Vec(T2VecConfig(
+        min_hits=3, embedding_size=16, hidden_size=16, num_layers=1,
+        dropout=0.0, loss=LossSpec(kind="L1"),
+        dropping_rates=(0.0,), distorting_rates=(0.0,),
+        training=TrainingConfig(batch_size=64, max_epochs=2, patience=10),
+        cell_epochs=1, seed=0), registry=registry)
+    result = model.fit(trips[:30])
+    vectors = model.encode_many(trips[:30])
+    model.encode_many(trips[:10])                      # warm-cache hits
+    index = ExactIndex(vectors, registry=registry)
+    index.knn(vectors[0], k=5)
+
+    path = tmp_path / "metrics.jsonl"
+    write_jsonl(registry, path)
+    records = read_jsonl(path)
+    by_name = {(r["type"], r["name"]): r for r in records}
+
+    loss = by_name[("gauge", "train.epoch_loss")]
+    assert len(loss["history"]) == result.epochs_run == 2
+    assert by_name[("gauge", "train.tokens_per_s")]["value"] > 0
+    latency = by_name[("histogram", "encode.latency_s")]
+    assert latency["count"] > 0
+    assert latency["p95"] >= latency["p50"] > 0
+    assert by_name[("counter", "index.exact.queries")]["value"] == 1
+    assert 0 < cache_hit_rate(records) < 1
+
+    rendered = summarize(records)
+    for needle in ("train.epoch_loss", "encode.latency_s", "p95",
+                   "encode.cache_hits"):
+        assert needle in rendered
+
+
 def test_greedy_reconstruction_stays_on_route(mini_model, trips):
     """The decoder's reconstruction lands near the input's route."""
     trip = trips[62]

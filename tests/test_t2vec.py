@@ -1,5 +1,8 @@
 """End-to-end T2Vec API: fit, encode, similarity, persistence."""
 
+import contextlib
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -130,3 +133,87 @@ def test_reconstruct_route_beam_search(fitted, trips):
     model, _ = fitted
     route = model.reconstruct_route(trips[0], max_len=25, beam_width=3)
     assert route.ndim == 2 and route.shape[1] == 2
+
+
+# ----------------------------------------------------------------------
+# Encoding cache: LRU bound + telemetry
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def capped_cache(model, capacity):
+    """Temporarily shrink the LRU cap and attach a fresh registry."""
+    from repro.telemetry import MetricsRegistry
+    old_config, old_registry = model.config, model.registry
+    model.config = dataclasses.replace(model.config,
+                                       encode_cache_size=capacity)
+    model.registry = MetricsRegistry()
+    model._encodings.clear()
+    try:
+        yield model.registry
+    finally:
+        model.config, model.registry = old_config, old_registry
+        model._encodings.clear()
+
+
+def test_encode_cache_evicts_at_capacity(fitted, trips):
+    model, _ = fitted
+    with capped_cache(model, 4) as reg:
+        model.encode_many(trips[:10])
+        assert len(model._encodings) == 4
+        assert model.cache_info == {"size": 4, "capacity": 4}
+        assert reg.counters["encode.cache_misses"] == 10
+        assert reg.counters["encode.cache_evictions"] == 6
+
+
+def test_encode_results_correct_despite_eviction(fitted, trips):
+    model, _ = fitted
+    expected = model.encode_many(trips[:10])
+    with capped_cache(model, 2):
+        capped = model.encode_many(trips[:10])
+    np.testing.assert_allclose(capped, expected, atol=1e-6)
+
+
+def test_encode_cache_hits_and_lru_order(fitted, trips):
+    model, _ = fitted
+    with capped_cache(model, 3) as reg:
+        model.encode_many(trips[:3])
+        model.encode_many(trips[:2])          # hits, refreshes recency
+        assert reg.counters["encode.cache_hits"] == 2
+        model.encode_many([trips[3]])         # evicts the LRU entry
+        assert trips[2].cache_key() not in model._encodings
+        assert trips[1].cache_key() in model._encodings
+
+
+def test_encode_duplicates_counted_once_per_call(fitted, trips):
+    model, _ = fitted
+    with capped_cache(model, 10) as reg:
+        model.encode_many([trips[0], trips[0], trips[0]])
+        assert reg.counters["encode.cache_misses"] == 1
+        assert "encode.cache_hits" not in reg.counters
+
+
+def test_encode_latency_histogram_recorded(fitted, trips):
+    model, _ = fitted
+    with capped_cache(model, 100) as reg:
+        model.encode_many(trips[:6], batch_size=2)
+        hist = reg.histogram("encode.latency_s")
+        assert hist.count == 3                 # one observation per chunk
+        assert hist.percentile(95) >= hist.percentile(50) > 0
+
+
+def test_fit_emits_pipeline_spans(trips):
+    from repro.telemetry import MetricsRegistry
+    registry = MetricsRegistry()
+    config = T2VecConfig(
+        min_hits=3, embedding_size=8, hidden_size=8, num_layers=1,
+        dropping_rates=(0.0,), distorting_rates=(0.0,),
+        training=TrainingConfig(batch_size=32, max_epochs=1),
+        val_fraction=0.0, cell_epochs=1, seed=0,
+    )
+    model = T2Vec(config, registry=registry)
+    model.fit(trips[:12])
+    names = {s.name for s in registry.spans}
+    assert {"t2vec.fit", "t2vec.build_vocab", "t2vec.build_model",
+            "t2vec.build_pairs", "fit", "fit.epoch"} <= names
+    # Pipeline phases are children of the top-level fit span.
+    phases = [s for s in registry.spans if s.name.startswith("t2vec.build")]
+    assert all(s.parent == "t2vec.fit" for s in phases)

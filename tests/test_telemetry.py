@@ -1,0 +1,215 @@
+"""Telemetry primitives: registry, percentiles, spans, JSONL exporters."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (MetricsRegistry, Timer, cache_hit_rate,
+                             get_registry, read_jsonl, set_registry,
+                             summarize, to_records, write_jsonl)
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    reg.counter("events").inc()
+    reg.counter("events").inc(4)
+    assert reg.counters["events"] == 5
+    with pytest.raises(ValueError):
+        reg.counter("events").inc(-1)
+
+
+def test_gauge_keeps_history_and_last_value():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("loss")
+    assert gauge.value is None
+    for v in (3.0, 2.0, 1.5):
+        gauge.set(v)
+    assert gauge.value == 1.5
+    assert gauge.history == [3.0, 2.0, 1.5]
+
+
+def test_metric_accessors_are_create_on_first_use():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+
+
+# ----------------------------------------------------------------------
+# Histogram percentile math
+# ----------------------------------------------------------------------
+def test_histogram_percentiles_match_numpy():
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    rng = np.random.default_rng(0)
+    values = rng.exponential(size=257)
+    for v in values:
+        hist.observe(v)
+    for q in (0, 25, 50, 95, 99, 100):
+        assert hist.percentile(q) == pytest.approx(np.percentile(values, q))
+
+
+def test_histogram_percentile_interpolates():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h")
+    for v in (0.0, 10.0):
+        hist.observe(v)
+    assert hist.percentile(50) == pytest.approx(5.0)
+    assert hist.percentile(95) == pytest.approx(9.5)
+
+
+def test_histogram_empty_and_bounds():
+    hist = MetricsRegistry().histogram("h")
+    assert math.isnan(hist.percentile(50))
+    assert math.isnan(hist.mean)
+    assert hist.summary() == {"count": 0}
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_summary_fields():
+    hist = MetricsRegistry().histogram("h")
+    for v in range(1, 101):
+        hist.observe(float(v))
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["min"] == 1.0 and summary["max"] == 100.0
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] == pytest.approx(95.05)
+    assert summary["p99"] == pytest.approx(99.01)
+
+
+# ----------------------------------------------------------------------
+# Spans and timers
+# ----------------------------------------------------------------------
+def test_spans_nest_with_parent_and_depth():
+    reg = MetricsRegistry()
+    with reg.span("outer"):
+        with reg.span("inner"):
+            pass
+        with reg.span("inner"):
+            pass
+    names = [(s.name, s.parent, s.depth) for s in reg.spans]
+    assert names == [("inner", "outer", 1), ("inner", "outer", 1),
+                     ("outer", None, 0)]
+    assert all(s.duration_s >= 0 for s in reg.spans)
+
+
+def test_span_feeds_histogram_of_same_name():
+    reg = MetricsRegistry()
+    for _ in range(3):
+        with reg.span("work"):
+            pass
+    assert reg.histogram("work").count == 3
+    with reg.span("silent", record_histogram=False):
+        pass
+    assert reg.histogram("silent").count == 0
+
+
+def test_span_meta_is_exported():
+    reg = MetricsRegistry()
+    with reg.span("eval", record_histogram=False, measure="t2vec", k=5):
+        pass
+    record = reg.spans[0].to_record()
+    assert record["meta"] == {"measure": "t2vec", "k": 5}
+
+
+def test_timer_measures_and_requires_start():
+    timer = Timer()
+    with pytest.raises(RuntimeError):
+        timer.stop()
+    with timer:
+        pass
+    assert timer.elapsed_s >= 0
+
+
+def test_default_registry_swap():
+    mine = MetricsRegistry()
+    previous = set_registry(mine)
+    try:
+        assert get_registry() is mine
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous
+
+
+# ----------------------------------------------------------------------
+# JSONL exporter schema
+# ----------------------------------------------------------------------
+@pytest.fixture
+def populated():
+    reg = MetricsRegistry()
+    reg.counter("encode.cache_hits").inc(30)
+    reg.counter("encode.cache_misses").inc(10)
+    reg.gauge("train.epoch_loss").set(2.0)
+    reg.gauge("train.epoch_loss").set(1.0)
+    for v in (0.1, 0.2, 0.3):
+        reg.histogram("encode.latency_s").observe(v)
+    with reg.span("fit"):
+        pass
+    return reg
+
+
+def test_jsonl_schema_roundtrip(populated, tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    count = write_jsonl(populated, path)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == count
+    records = [json.loads(line) for line in lines]
+    assert records == read_jsonl(path)
+
+    by_type = {}
+    for r in records:
+        by_type.setdefault(r["type"], []).append(r)
+    assert set(by_type) == {"counter", "gauge", "histogram", "span"}
+    for r in by_type["counter"]:
+        assert set(r) == {"type", "name", "value"}
+    for r in by_type["gauge"]:
+        assert set(r) == {"type", "name", "value", "history"}
+    hist = by_type["histogram"][0]
+    assert {"count", "mean", "min", "max", "p50", "p95", "p99"} <= set(hist)
+    span = by_type["span"][0]
+    assert {"name", "parent", "depth", "start_s", "duration_s"} <= set(span)
+
+
+def test_to_records_matches_snapshot(populated):
+    records = to_records(populated)
+    snapshot = populated.snapshot()
+    counters = {r["name"]: r["value"] for r in records
+                if r["type"] == "counter"}
+    assert counters == snapshot["counters"]
+    gauge = next(r for r in records if r["type"] == "gauge")
+    assert gauge["history"] == snapshot["gauges"]["train.epoch_loss"]["history"]
+
+
+def test_summarize_renders_all_sections(populated):
+    text = summarize(populated.to_records())
+    assert "counters" in text
+    assert "encode.cache_hits" in text
+    assert "train.epoch_loss" in text
+    assert "p95" in text
+    assert "spans" in text
+    # Gauge histories with >= 2 points render as an ASCII chart.
+    assert "train.epoch_loss per observation" in text
+
+
+def test_summarize_empty():
+    assert summarize([]) == "no metrics recorded"
+
+
+def test_cache_hit_rate(populated):
+    records = to_records(populated)
+    assert cache_hit_rate(records) == pytest.approx(0.75)
+    assert math.isnan(cache_hit_rate([]))
+
+
+def test_registry_reset(populated):
+    populated.reset()
+    assert populated.to_records() == []

@@ -28,7 +28,7 @@ def test_training_reduces_loss(vocab, datasets):
     model = make_model(vocab)
     trainer = Trainer(model, vocab, LossSpec(kind="L3", k_nearest=6, noise=16),
                       TrainingConfig(batch_size=16, max_epochs=4, patience=10))
-    result = trainer.fit(train, val)
+    result = trainer.fit(train, validation=val)
     assert result.epochs_run == 4
     assert result.train_losses[-1] < result.train_losses[0]
     assert result.steps == 4 * len(list(train.batches(16)))
@@ -39,7 +39,7 @@ def test_validation_tracked_and_best_loss_recorded(vocab, datasets):
     model = make_model(vocab)
     trainer = Trainer(model, vocab, LossSpec(kind="L1"),
                       TrainingConfig(batch_size=16, max_epochs=3, patience=10))
-    result = trainer.fit(train, val)
+    result = trainer.fit(train, validation=val)
     assert len(result.val_losses) == 3
     assert result.best_val_loss == pytest.approx(min(result.val_losses))
 
@@ -51,7 +51,7 @@ def test_early_stopping_with_zero_patience_stops_on_first_plateau(vocab, dataset
     trainer = Trainer(model, vocab, LossSpec(kind="L1"),
                       TrainingConfig(batch_size=16, max_epochs=50, patience=1,
                                      lr=10.0))  # huge lr forces divergence
-    result = trainer.fit(train, val)
+    result = trainer.fit(train, validation=val)
     assert result.stopped_early
     assert result.epochs_run < 50
 
@@ -62,7 +62,7 @@ def test_best_weights_restored_after_divergence(vocab, datasets):
     trainer = Trainer(model, vocab, LossSpec(kind="L1"),
                       TrainingConfig(batch_size=16, max_epochs=6, patience=2,
                                      lr=5.0))
-    result = trainer.fit(train, val)
+    result = trainer.fit(train, validation=val)
     # After restore, evaluating again reproduces (close to) the best loss.
     final_loss = trainer.evaluate(val)
     assert final_loss == pytest.approx(result.best_val_loss, rel=0.05)
