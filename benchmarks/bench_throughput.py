@@ -1,0 +1,229 @@
+"""Throughput gate: sequence-fused RNN kernels vs. the step-wise path.
+
+Measures, for both ``rnn_type="gru"`` and ``"lstm"``:
+
+* **train tokens/sec** — a full training step (encode, decode, loss,
+  backward, Adam update) on a synthetic padded batch, with tokens counted
+  the same way :class:`~repro.core.trainer.Trainer` counts them
+  (``src_mask.sum() + tgt_mask.sum()``);
+* **encode latency** — eval-mode ``model.encode`` wall time, recorded as
+  a histogram so the JSON carries mean / p50 / p95.
+
+Both the fused (``model.fused = True``, the default) and the step-wise
+reference path (``model.fused = False`` — byte-for-byte the pre-fusion
+per-timestep cell loop) are timed, so the report records the speedup of
+this PR against the path the repo shipped before it.
+
+Timing protocol: the host is a single contended CPU, so a single wall
+clock sample can be ~2x off.  The two modes are interleaved round-robin
+and each mode keeps its *minimum* step time — the minimum converges to
+the uncontended cost and both modes see the same interference pattern.
+
+Run standalone (writes ``BENCH_throughput.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
+
+or under pytest (``pytest benchmarks/bench_throughput.py``), which runs
+the smoke profile.  ``REPRO_BENCH_FAST=1`` also selects the smoke
+profile, matching the other benches.  Per-mode metrics additionally land
+in ``benchmarks/results/throughput_metrics.jsonl`` via the telemetry
+registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.encoder_decoder import EncoderDecoder, ModelConfig
+from repro.core.losses import LossSpec, sequence_loss
+from repro.data.dataset import pad_batch
+from repro.nn.optim import Adam
+from repro.spatial.vocab import BOS, EOS
+from repro.telemetry import MetricsRegistry, write_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+#: Synthetic workload profiles.  The full profile mirrors the paper's
+#: regime (long trajectories, hundreds of points) at benchmark scale:
+#: small online batches of long sequences are exactly where the
+#: per-timestep tape overhead of the step-wise path dominates.
+PROFILES = {
+    "full": dict(vocab=200, max_len=150, batch=8, hidden=128, layers=3,
+                 dropout=0.1, rounds=9, encode_rounds=20),
+    "smoke": dict(vocab=64, max_len=24, batch=4, hidden=24, layers=2,
+                  dropout=0.1, rounds=3, encode_rounds=5),
+}
+
+MODES = ("stepwise", "fused")
+
+
+def make_batch(rng: np.random.Generator, vocab: int, max_len: int, batch: int):
+    """A padded synthetic batch framed the way the Trainer frames one."""
+    seqs = [rng.integers(4, vocab, size=int(rng.integers(max_len // 2, max_len)))
+            for _ in range(batch)]
+    src, src_mask = pad_batch(seqs)
+    tgt_in, _ = pad_batch([np.concatenate(([BOS], s)) for s in seqs])
+    tgt_out, tgt_mask = pad_batch([np.concatenate((s, [EOS])) for s in seqs])
+    return src, src_mask, tgt_in, tgt_out, tgt_mask
+
+
+def build_model(profile: dict, rnn_type: str) -> EncoderDecoder:
+    return EncoderDecoder(ModelConfig(
+        vocab_size=profile["vocab"],
+        embedding_size=profile["hidden"],
+        hidden_size=profile["hidden"],
+        num_layers=profile["layers"],
+        dropout=profile["dropout"],
+        rnn_type=rnn_type,
+        seed=0,
+    ))
+
+
+def bench_rnn_type(rnn_type: str, profile: dict,
+                   registry: MetricsRegistry) -> dict:
+    """Time train steps and encodes for one rnn_type, both modes."""
+    rng = np.random.default_rng(0)
+    src, src_mask, tgt_in, tgt_out, tgt_mask = make_batch(
+        rng, profile["vocab"], profile["max_len"], profile["batch"])
+    tokens = int(src_mask.sum() + tgt_mask.sum())
+
+    model = build_model(profile, rnn_type)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    spec = LossSpec(kind="L1")
+
+    def train_step() -> None:
+        optimizer.zero_grad()
+        _, state = model.encode(src, src_mask)
+        hidden = model.decode(tgt_in, state, tgt_mask)
+        loss = sequence_loss(model, hidden, tgt_out, tgt_mask, None, spec)
+        loss.backward()
+        optimizer.step()
+
+    best_step = {mode: float("inf") for mode in MODES}
+    model.train()
+    for mode in MODES:                      # warm caches outside timing
+        model.fused = mode == "fused"
+        train_step()
+    for _ in range(profile["rounds"]):
+        for mode in MODES:
+            model.fused = mode == "fused"
+            start = time.perf_counter()
+            train_step()
+            elapsed = time.perf_counter() - start
+            registry.histogram(f"{rnn_type}.{mode}.train.step_s").observe(elapsed)
+            registry.counter(f"{rnn_type}.{mode}.train.tokens").inc(tokens)
+            best_step[mode] = min(best_step[mode], elapsed)
+
+    # Encode latency in eval mode (the similarity-query serving path).
+    model.eval()
+    encode_hists = {}
+    for mode in MODES:
+        model.fused = mode == "fused"
+        model.encode(src, src_mask)         # warmup
+    for _ in range(profile["encode_rounds"]):
+        for mode in MODES:
+            model.fused = mode == "fused"
+            start = time.perf_counter()
+            model.encode(src, src_mask)
+            elapsed = time.perf_counter() - start
+            hist = registry.histogram(f"{rnn_type}.{mode}.encode.latency_s")
+            hist.observe(elapsed)
+            encode_hists[mode] = hist
+
+    result = {}
+    for mode in MODES:
+        tokens_per_s = tokens / best_step[mode]
+        registry.gauge(f"{rnn_type}.{mode}.train.tokens_per_s").set(tokens_per_s)
+        hist = encode_hists[mode]
+        result[mode] = {
+            "train_tokens_per_s": round(tokens_per_s, 1),
+            "train_step_s": round(best_step[mode], 6),
+            "encode_latency_s": {
+                "min": round(min(hist.values), 6),
+                "mean": round(hist.mean, 6),
+                "p50": round(hist.percentile(50), 6),
+                "p95": round(hist.percentile(95), 6),
+            },
+        }
+    result["tokens_per_step"] = tokens
+    result["train_speedup"] = round(
+        result["fused"]["train_tokens_per_s"]
+        / result["stepwise"]["train_tokens_per_s"], 2)
+    result["encode_speedup"] = round(
+        result["stepwise"]["encode_latency_s"]["min"]
+        / result["fused"]["encode_latency_s"]["min"], 2)
+    return result
+
+
+def run(smoke: bool = False, output: Path = DEFAULT_OUTPUT) -> dict:
+    profile = PROFILES["smoke" if smoke else "full"]
+    registry = MetricsRegistry()
+    results = {}
+    for rnn_type in ("gru", "lstm"):
+        results[rnn_type] = bench_rnn_type(rnn_type, profile, registry)
+
+    report = {
+        "benchmark": "bench_throughput",
+        "profile": "smoke" if smoke else "full",
+        "workload": {k: profile[k] for k in
+                     ("vocab", "max_len", "batch", "hidden", "layers",
+                      "dropout")},
+        "timing": "interleaved rounds, per-mode minimum step time",
+        "results": results,
+        "summary": {
+            "train_speedup": {rt: results[rt]["train_speedup"]
+                              for rt in results},
+            "encode_speedup": {rt: results[rt]["encode_speedup"]
+                               for rt in results},
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_jsonl(registry, RESULTS_DIR / "throughput_metrics.jsonl")
+
+    lines = [f"throughput ({report['profile']} profile) — "
+             "train tokens/sec, fused vs step-wise"]
+    for rt, res in results.items():
+        lines.append(
+            f"  {rt:4s}: stepwise {res['stepwise']['train_tokens_per_s']:>9,.0f}"
+            f"  fused {res['fused']['train_tokens_per_s']:>9,.0f}"
+            f"  ({res['train_speedup']:.2f}x train, "
+            f"{res['encode_speedup']:.2f}x encode)")
+    print("\n".join(lines))
+    return report
+
+
+def test_throughput_smoke(tmp_path):
+    """Smoke gate: both paths run end to end and the report is complete."""
+    report = run(smoke=True, output=tmp_path / "BENCH_throughput.json")
+    for rnn_type in ("gru", "lstm"):
+        res = report["results"][rnn_type]
+        for mode in MODES:
+            assert res[mode]["train_tokens_per_s"] > 0
+            assert res[mode]["encode_latency_s"]["p95"] > 0
+        assert res["train_speedup"] > 0
+    assert (tmp_path / "BENCH_throughput.json").exists()
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny profile for CI (also: REPRO_BENCH_FAST=1)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    run(smoke=args.smoke or FAST, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ Set ``REPRO_BENCH_FAST=1`` to shrink everything further for smoke runs.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -51,6 +52,25 @@ def bench_config(hidden: int = None, epochs: int = None, **overrides) -> T2VecCo
     return T2VecConfig(**defaults)
 
 
+def load_cached(path: Path, loader):
+    """Load a cache file, discarding corrupt entries instead of crashing.
+
+    Cache files can end up truncated (an interrupted run, a full disk);
+    a bad ``.npz`` is deleted with a warning so the caller regenerates it,
+    rather than failing the whole bench session.  Returns ``None`` when the
+    file is absent or unreadable.
+    """
+    if not path.exists():
+        return None
+    try:
+        return loader(path)
+    except Exception as exc:
+        warnings.warn(f"discarding corrupt bench cache {path.name}: {exc!r}; "
+                      "regenerating")
+        path.unlink(missing_ok=True)
+        return None
+
+
 def fit_cached(tag: str, config: T2VecConfig, train_trips) -> T2Vec:
     """Train a model or load it from the on-disk cache.
 
@@ -60,8 +80,9 @@ def fit_cached(tag: str, config: T2VecConfig, train_trips) -> T2Vec:
     """
     CACHE_DIR.mkdir(exist_ok=True)
     path = CACHE_DIR / f"{tag}{'_fast' if FAST else ''}.npz"
-    if path.exists():
-        return T2Vec.load(path)
+    cached = load_cached(path, T2Vec.load)
+    if cached is not None:
+        return cached
     registry = MetricsRegistry()
     model = T2Vec(config, registry=registry)
     model.fit(train_trips, callbacks=[ProgressLogger()])
@@ -102,8 +123,10 @@ class CityBench:
         CACHE_DIR.mkdir(exist_ok=True)
         path = CACHE_DIR / f"vrnn_{self.name}{'_fast' if FAST else ''}.npz"
         hidden = PROFILE["hidden"]
-        if path.exists():
-            return VanillaRNNEmbedding.load(path, self.vocab)
+        cached = load_cached(
+            path, lambda p: VanillaRNNEmbedding.load(p, self.vocab))
+        if cached is not None:
+            return cached
         vrnn = VanillaRNNEmbedding(self.vocab, embedding_size=hidden,
                                    hidden_size=hidden, num_layers=1, seed=0)
         vrnn.fit(self.train, epochs=max(2, PROFILE["epochs"] // 3),

@@ -42,12 +42,21 @@ class ModelConfig:
 
 
 class EncoderDecoder(Module):
-    """Recurrent encoder-decoder with a shared cell embedding table."""
+    """Recurrent encoder-decoder with a shared cell embedding table.
+
+    Whole-sequence encoding/decoding runs through the sequence-fused RNN
+    kernels (one embedding gather and one tape node per layer per batch;
+    see :func:`~repro.nn.rnn.gru_layer_forward`).  Setting ``fused=False``
+    falls back to the step-wise reference cells — used by the parity tests
+    and the throughput benchmark; single-step generation (greedy/beam)
+    always uses the step-wise cells.
+    """
 
     def __init__(self, config: ModelConfig):
         super().__init__()
         rng = np.random.default_rng(config.seed)
         self.config = config
+        self.fused = True
         self.embedding = Embedding(config.vocab_size, config.embedding_size, rng=rng)
         rnn_cls = GRU if config.rnn_type == "gru" else LSTM
         self.encoder = rnn_cls(config.embedding_size, config.hidden_size,
@@ -72,8 +81,13 @@ class EncoderDecoder(Module):
         representation (top-layer final hidden state) and ``state`` is the
         per-layer final state used to initialize the decoder.
         """
-        steps = [self.embedding(src[t]) for t in range(src.shape[0])]
-        _, state = self.encoder(steps, mask=src_mask)
+        if self.fused:
+            # One (T, B) embedding gather + one fused kernel per layer.
+            _, state = self.encoder.forward_sequence(self.embedding(src),
+                                                     mask=src_mask)
+        else:
+            steps = [self.embedding(src[t]) for t in range(src.shape[0])]
+            _, state = self.encoder(steps, mask=src_mask)
         return self._top_hidden(state), state
 
     def _top_hidden(self, state) -> Tensor:
@@ -102,10 +116,15 @@ class EncoderDecoder(Module):
         ``(T * batch, hidden)`` tensor (time-major flattening), ready for
         a single loss evaluation over every step.
         """
-        steps = [self.embedding(tgt_in[t]) for t in range(tgt_in.shape[0])]
+        t_steps, batch = tgt_in.shape
+        if self.fused:
+            out_seq, _ = self.decoder.forward_sequence(self.embedding(tgt_in),
+                                                       h0=state, mask=tgt_mask)
+            # The fused output is already time-major (T, B, H); flattening
+            # is a reshape view, no intermediate stack node.
+            return out_seq.reshape(t_steps * batch, self.config.hidden_size)
+        steps = [self.embedding(tgt_in[t]) for t in range(t_steps)]
         outputs, _ = self.decoder(steps, h0=state, mask=tgt_mask)
-        t_steps = len(outputs)
-        batch = tgt_in.shape[1]
         return stack(outputs, axis=0).reshape(t_steps * batch,
                                               self.config.hidden_size)
 
@@ -206,22 +225,25 @@ class EncoderDecoder(Module):
             batch = src.shape[1]
             tokens = np.full(batch, BOS, dtype=np.int64)
             finished = np.zeros(batch, dtype=bool)
-            results: List[List[int]] = [[] for _ in range(batch)]
+            emitted: List[np.ndarray] = []   # (batch,) tokens per step
+            kept: List[np.ndarray] = []      # (batch,) bools: token counts
             for _ in range(max_len):
                 step = self.embedding(tokens)
                 _, state = self.decoder([step], h0=state)
                 scores = self.logits(self._top_hidden(state)).numpy()
                 scores[:, BOS] = -np.inf  # never re-emit the start token
                 tokens = scores.argmax(axis=1)
-                for b in range(batch):
-                    if finished[b]:
-                        continue
-                    if tokens[b] == EOS:
-                        finished[b] = True
-                    else:
-                        results[b].append(int(tokens[b]))
+                is_eos = tokens == EOS
+                kept.append(~finished & ~is_eos)
+                emitted.append(tokens)
+                finished |= is_eos
                 if finished.all():
                     break
-            return [np.array(r, dtype=np.int64) for r in results]
+            # One boolean-mask slice per batch element at the end replaces
+            # the per-step per-element Python loop.
+            emitted_arr = np.stack(emitted)
+            kept_arr = np.stack(kept)
+            return [emitted_arr[kept_arr[:, b], b].astype(np.int64)
+                    for b in range(batch)]
         finally:
             self.train(was_training)

@@ -13,6 +13,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.tensor import get_default_dtype
 from ..spatial.vocab import BOS, EOS, PAD, CellVocabulary
 from .pairs import TrainingPair
 from .trajectory import Trajectory
@@ -38,13 +39,15 @@ def pad_batch(sequences: Sequence[np.ndarray],
     """Pad 1-D int sequences into a time-major ``(T, B)`` batch.
 
     Returns ``(tokens, mask)`` where ``mask`` is 1.0 on real positions.
+    The mask is allocated in the library's default tensor dtype so masked
+    RNN steps do not silently upcast float32 activations to float64.
     """
     if not sequences:
         raise ValueError("cannot pad an empty batch")
     lengths = np.array([len(s) for s in sequences])
     max_len = int(lengths.max())
     batch = np.full((max_len, len(sequences)), pad_value, dtype=np.int64)
-    mask = np.zeros((max_len, len(sequences)))
+    mask = np.zeros((max_len, len(sequences)), dtype=get_default_dtype())
     for j, seq in enumerate(sequences):
         batch[: len(seq), j] = seq
         mask[: len(seq), j] = 1.0

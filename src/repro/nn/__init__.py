@@ -19,7 +19,8 @@ from .loss import (masked_sampled_loss, nll_loss, sampled_weighted_loss,
                    weighted_nll_loss)
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .rnn import GRU, GRUCell
+from .lstm import LSTM, LSTMCell, lstm_layer_forward
+from .rnn import GRU, GRUCell, gru_layer_forward
 from .serialization import load_checkpoint, save_checkpoint
 from .tensor import (Tensor, concat, get_default_dtype, ones,
                      set_default_dtype, stack, where_const, zeros)
@@ -30,6 +31,8 @@ __all__ = [
     "Embedding",
     "GRU",
     "GRUCell",
+    "LSTM",
+    "LSTMCell",
     "Linear",
     "Module",
     "Optimizer",
@@ -40,8 +43,10 @@ __all__ = [
     "concat",
     "functional",
     "get_default_dtype",
+    "gru_layer_forward",
     "set_default_dtype",
     "init",
+    "lstm_layer_forward",
     "load_checkpoint",
     "masked_sampled_loss",
     "nll_loss",

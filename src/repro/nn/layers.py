@@ -38,7 +38,10 @@ class Embedding(Module):
     """Token embedding table of shape ``(num_embeddings, dim)``.
 
     Lookup is a gather (:meth:`Tensor.take_rows`), so gradients for
-    repeated tokens in a batch are accumulated correctly.
+    repeated tokens in a batch are accumulated correctly.  ``tokens`` may
+    have any shape; passing a whole time-major ``(T, B)`` batch performs
+    the fused gather (one tape node with one scatter-add backward instead
+    of T separate nodes) that the sequence-fused RNN path builds on.
     """
 
     def __init__(self, num_embeddings: int, dim: int,
@@ -87,5 +90,12 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = self._rng.random(x.shape) < keep
-        return x * Tensor(mask / keep)
+        # Build the scaled mask directly in the input dtype; a float64
+        # intermediate would silently upcast (and double-copy) the whole
+        # activation tensor under the float32 default.  Drawing the uniforms
+        # in float32 also halves the RNG cost for the common case.
+        rand_dtype = np.float32 if x.data.dtype == np.float32 else np.float64
+        mask = (self._rng.random(x.shape, dtype=rand_dtype) < keep)
+        mask = mask.astype(x.data.dtype)
+        mask /= keep
+        return x * Tensor(mask)

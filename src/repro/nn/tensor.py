@@ -31,8 +31,9 @@ _DEFAULT_DTYPE = np.float32
 def set_default_dtype(dtype) -> None:
     """Set the dtype used for new tensors.
 
-    ``float32`` roughly halves training time on CPU; ``float64`` is the
-    default because numeric gradient checking needs the precision.
+    ``float32`` is the default because it roughly halves training time on
+    CPU; switch to ``float64`` when numeric gradient checking (or anything
+    else) needs the precision.
     """
     dtype = np.dtype(dtype)
     if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
@@ -468,8 +469,20 @@ class Tensor:
             a = self
 
             def backward(grad):
+                # Scatter-add via sort + reduceat: np.add.at is an order of
+                # magnitude slower because it dispatches per element.
                 full = np.zeros_like(a.data)
-                np.add.at(full, indices, grad)
+                flat_idx = indices.reshape(-1)
+                if flat_idx.size:
+                    flat_grad = np.ascontiguousarray(grad).reshape(
+                        flat_idx.size, -1)
+                    order = np.argsort(flat_idx, kind="stable")
+                    sorted_idx = flat_idx[order]
+                    starts = np.flatnonzero(np.concatenate(
+                        ([True], sorted_idx[1:] != sorted_idx[:-1])))
+                    sums = np.add.reduceat(flat_grad[order], starts, axis=0)
+                    full[sorted_idx[starts]] = sums.reshape(
+                        (-1,) + full.shape[1:])
                 a._accumulate(full)
 
             out._backward = backward

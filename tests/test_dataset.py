@@ -31,6 +31,18 @@ def test_pad_batch_shapes_and_mask():
     np.testing.assert_array_equal(mask, [[1, 1], [1, 0], [1, 0]])
 
 
+def test_pad_batch_mask_follows_default_dtype():
+    from repro.nn import get_default_dtype, set_default_dtype
+    previous = get_default_dtype()
+    try:
+        for dtype in (np.float32, np.float64):
+            set_default_dtype(dtype)
+            _, mask = pad_batch([np.array([5, 6]), np.array([7])])
+            assert mask.dtype == dtype
+    finally:
+        set_default_dtype(previous)
+
+
 def test_pad_batch_empty_raises():
     with pytest.raises(ValueError):
         pad_batch([])
