@@ -72,6 +72,15 @@ class TrajectoryDistance(ABC):
     def distance(self, a: Trajectory, b: Trajectory) -> float:
         """Distance between one pair of trajectories (lower = more similar)."""
 
+    def reference_distance(self, a: Trajectory, b: Trajectory) -> float:
+        """Independent single-pair implementation used as a test oracle.
+
+        Measures whose ``distance`` delegates to the batched kernel
+        override this with the plain (loop-based) dynamic program so the
+        batched-vs-single parity tests stay meaningful.
+        """
+        return self.distance(a, b)
+
     def distance_to_many(self, query: Trajectory,
                          candidates: Sequence[Trajectory]) -> np.ndarray:
         """Distances from ``query`` to every candidate.
@@ -81,6 +90,19 @@ class TrajectoryDistance(ABC):
         """
         return np.array([self.distance(query, c) for c in candidates])
 
+    def distance_matrix(self, queries: Sequence[Trajectory],
+                        candidates: Sequence[Trajectory]) -> np.ndarray:
+        """All query-candidate distances as a ``(Q, N)`` matrix.
+
+        The base implementation runs ``distance_to_many`` per query (the
+        DP measures' batching axis is the candidate set); vector-space
+        measures override it with one blocked GEMM over encoded queries.
+        """
+        if len(queries) == 0:
+            return np.zeros((0, len(candidates)))
+        return np.stack([self.distance_to_many(q, candidates)
+                         for q in queries])
+
     def knn(self, query: Trajectory, candidates: Sequence[Trajectory],
             k: int) -> np.ndarray:
         """Indices of the k nearest candidates, nearest first."""
@@ -88,6 +110,26 @@ class TrajectoryDistance(ABC):
         k = min(k, len(dists))
         idx = np.argpartition(dists, k - 1)[:k]
         return idx[np.argsort(dists[idx], kind="stable")]
+
+    def knn_batch(self, queries: Sequence[Trajectory],
+                  candidates: Sequence[Trajectory], k: int) -> np.ndarray:
+        """k nearest candidates for every query: ``(Q, min(k, N))`` indices.
+
+        Row ``i`` equals ``knn(queries[i], candidates, k)`` — the per-row
+        partition and stable sort are the same operations the single-query
+        path applies, so results (ties included) are identical.
+        """
+        dists = self.distance_matrix(queries, candidates)
+        k = min(k, dists.shape[1])
+        if k < 1:
+            return np.zeros((len(queries), 0), dtype=np.int64)
+        if k < dists.shape[1]:
+            idx = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        else:
+            idx = np.broadcast_to(np.arange(k), (len(queries), k))
+        rows = np.arange(len(queries))[:, None]
+        order = np.argsort(dists[rows, idx], axis=1, kind="stable")
+        return np.ascontiguousarray(idx[rows, order])
 
     def rank_of(self, query: Trajectory, candidates: Sequence[Trajectory],
                 target_index: int) -> int:
@@ -98,3 +140,16 @@ class TrajectoryDistance(ABC):
         """
         dists = self.distance_to_many(query, candidates)
         return int((dists < dists[target_index]).sum()) + 1
+
+    def rank_of_many(self, queries: Sequence[Trajectory],
+                     candidates: Sequence[Trajectory],
+                     target_indices: Sequence[int]) -> np.ndarray:
+        """1-based rank of each query's target, computed in one batch.
+
+        Same optimistic tie rule as :meth:`rank_of`; one ``distance_matrix``
+        call serves every query.
+        """
+        dists = self.distance_matrix(queries, candidates)
+        targets = np.asarray(target_indices, dtype=np.int64)
+        own = dists[np.arange(len(dists)), targets]
+        return (dists < own[:, None]).sum(axis=1).astype(np.int64) + 1

@@ -23,6 +23,9 @@ class DTW(TrajectoryDistance):
     name = "DTW"
 
     def distance(self, a: Trajectory, b: Trajectory) -> float:
+        return float(self.distance_to_many(a, [b])[0])
+
+    def reference_distance(self, a: Trajectory, b: Trajectory) -> float:
         cost = point_dists(a.points, b.points)
         n, m = cost.shape
         dp = np.full((n + 1, m + 1), INF)

@@ -42,6 +42,9 @@ class EDR(TrajectoryDistance):
         return (diff <= self.epsilon).all(axis=2)
 
     def distance(self, a: Trajectory, b: Trajectory) -> float:
+        return float(self.distance_to_many(a, [b])[0])
+
+    def reference_distance(self, a: Trajectory, b: Trajectory) -> float:
         match = self._matches(a.points, b.points)
         n, m = match.shape
         dp = np.zeros((n + 1, m + 1))

@@ -28,6 +28,9 @@ class ERP(TrajectoryDistance):
         return np.sqrt(((points - self.gap_point) ** 2).sum(axis=-1))
 
     def distance(self, a: Trajectory, b: Trajectory) -> float:
+        return float(self.distance_to_many(a, [b])[0])
+
+    def reference_distance(self, a: Trajectory, b: Trajectory) -> float:
         cost = point_dists(a.points, b.points)
         gap_a = self._gap_costs(a.points)
         gap_b = self._gap_costs(b.points)

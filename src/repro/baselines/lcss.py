@@ -27,6 +27,13 @@ class LCSS(TrajectoryDistance):
 
     def similarity(self, a: Trajectory, b: Trajectory) -> int:
         """Raw LCSS length (number of matched point pairs)."""
+        lcss = (1.0 - self.distance_to_many(a, [b])[0]) * min(len(a), len(b))
+        return int(round(lcss))
+
+    def distance(self, a: Trajectory, b: Trajectory) -> float:
+        return float(self.distance_to_many(a, [b])[0])
+
+    def reference_distance(self, a: Trajectory, b: Trajectory) -> float:
         diff = np.abs(a.points[:, None, :] - b.points[None, :, :])
         match = (diff <= self.epsilon).all(axis=2)
         n, m = match.shape
@@ -37,10 +44,7 @@ class LCSS(TrajectoryDistance):
                     table[i, j] = table[i - 1, j - 1] + 1
                 else:
                     table[i, j] = max(table[i - 1, j], table[i, j - 1])
-        return int(table[n, m])
-
-    def distance(self, a: Trajectory, b: Trajectory) -> float:
-        return 1.0 - self.similarity(a, b) / min(len(a), len(b))
+        return 1.0 - int(table[n, m]) / min(n, m)
 
     def distance_to_many(self, query: Trajectory,
                          candidates: Sequence[Trajectory]) -> np.ndarray:

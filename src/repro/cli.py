@@ -155,7 +155,7 @@ def _cmd_encode(args) -> int:
 
 
 def _cmd_knn(args) -> int:
-    from .core import T2Vec
+    from .core import ExactIndex, T2Vec
     from .data import load_archive
     model = T2Vec.load(args.model)
     trips = load_archive(args.data)
@@ -163,13 +163,12 @@ def _cmd_knn(args) -> int:
         print(f"error: query index {args.query} out of range "
               f"[0, {len(trips)})", file=sys.stderr)
         return 2
-    query = trips[args.query]
-    dists = model.distance_to_many(query, trips)
-    k = min(args.k, len(trips))
-    order = np.argsort(dists, kind="stable")[:k]
+    index = ExactIndex(model.encode_many(trips))
+    order, dists = index.knn(model.encode(trips[args.query]),
+                             min(args.k, len(trips)))
     print(f"{'rank':>4}  {'index':>6}  {'distance':>9}")
-    for rank, idx in enumerate(order, start=1):
-        print(f"{rank:>4}  {idx:>6}  {dists[idx]:>9.4f}")
+    for rank, (idx, dist) in enumerate(zip(order, dists), start=1):
+        print(f"{rank:>4}  {idx:>6}  {dist:>9.4f}")
     return 0
 
 

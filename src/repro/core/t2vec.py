@@ -44,6 +44,7 @@ from ..spatial.vocab import CellVocabulary
 from ..telemetry import Callback, MetricsRegistry, get_registry
 from .cell_embedding import CellEmbeddingConfig, CellEmbeddingTrainer
 from .encoder_decoder import EncoderDecoder, ModelConfig
+from .index import ExactIndex, pairwise_distances
 from .losses import LossSpec
 from .trainer import Trainer, TrainingConfig, TrainingResult
 
@@ -285,6 +286,36 @@ class T2Vec(TrajectoryDistance):
         vq = self.encode(query)
         vc = self.encode_many(candidates)
         return np.sqrt(((vc - vq[None, :]) ** 2).sum(axis=1))
+
+    def distance_matrix(self, queries: Sequence[Trajectory],
+                        candidates: Sequence[Trajectory]) -> np.ndarray:
+        """All query-candidate distances via one blocked GEMM.
+
+        Both sides are encoded in batches and the ``(Q, N)`` matrix comes
+        out of the tiled ``||x||² + ||q||² − 2·X@Qᵀ`` identity — the
+        whole evaluation protocol's distances in a handful of BLAS calls
+        instead of ``Q`` python-level scans.
+        """
+        if len(queries) == 0:
+            return np.zeros((0, len(candidates)))
+        vq = self.encode_many(list(queries))
+        vc = self.encode_many(list(candidates))
+        return pairwise_distances(vq, vc)
+
+    def knn_batch(self, queries: Sequence[Trajectory],
+                  candidates: Sequence[Trajectory], k: int) -> np.ndarray:
+        """Batched k-NN through :class:`ExactIndex` over encoded vectors."""
+        if len(queries) == 0:
+            return np.zeros((0, min(k, len(candidates))), dtype=np.int64)
+        index = ExactIndex(self.encode_many(list(candidates)),
+                           registry=self.registry)
+        idx, _ = index.knn_batch(self.encode_many(list(queries)), k)
+        return idx
+
+    def knn(self, query: Trajectory, candidates: Sequence[Trajectory],
+            k: int) -> np.ndarray:
+        """Indices of the k nearest candidates — wrapper over the batched path."""
+        return self.knn_batch([query], candidates, k)[0]
 
     def reconstruct_route(self, trajectory: Trajectory, max_len: int = 100,
                           beam_width: int = 1) -> np.ndarray:

@@ -23,8 +23,12 @@ def ground_truth_knn(measure: TrajectoryDistance,
                      queries: Sequence[Trajectory],
                      database: Sequence[Trajectory],
                      k: int) -> List[set]:
-    """Each query's clean k-NN set — the per-measure ground truth."""
-    return [set(measure.knn(query, database, k).tolist()) for query in queries]
+    """Each query's clean k-NN set — the per-measure ground truth.
+
+    One :meth:`TrajectoryDistance.knn_batch` call serves every query.
+    """
+    return [set(row.tolist())
+            for row in measure.knn_batch(list(queries), list(database), k)]
 
 
 def knn_precision(
@@ -53,10 +57,10 @@ def knn_precision(
     precisions: List[float] = []
     with reg.span("eval.knn_precision", record_histogram=False,
                   measure=measure.name, k=k):
-        for degraded_query, truth_set in zip(degraded_queries, truth):
-            found = set(measure.knn(degraded_query, degraded_db, k).tolist())
-            precisions.append(len(truth_set & found) / k)
-            reg.counter("eval.precision_queries").inc()
+        found_rows = measure.knn_batch(degraded_queries, degraded_db, k)
+        for found, truth_set in zip(found_rows, truth):
+            precisions.append(len(truth_set & set(found.tolist())) / k)
+        reg.counter("eval.precision_queries").inc(len(degraded_queries))
     return float(np.mean(precisions))
 
 

@@ -79,16 +79,19 @@ def build_setup(
 
 
 def mean_rank(measure: TrajectoryDistance, setup: MostSimilarSetup) -> float:
-    """Mean rank of the true counterpart over all queries (lower = better)."""
+    """Mean rank of the true counterpart over all queries (lower = better).
+
+    All queries are served by one :meth:`TrajectoryDistance.rank_of_many`
+    call — for vector-space measures that is a single batched search over
+    the whole query block instead of a per-query python loop.
+    """
     reg = get_registry()
-    ranks = []
     with reg.span("eval.mean_rank", record_histogram=False,
                   measure=measure.name, queries=len(setup.queries)):
-        for query, target in zip(setup.queries, setup.target_indices):
-            with reg.span("eval.rank_query"):
-                ranks.append(measure.rank_of(query, setup.database,
-                                             int(target)))
-            reg.counter("eval.queries").inc()
+        with reg.span("eval.rank_queries", queries=len(setup.queries)):
+            ranks = measure.rank_of_many(setup.queries, setup.database,
+                                         setup.target_indices)
+        reg.counter("eval.queries").inc(len(setup.queries))
     return float(np.mean(ranks))
 
 

@@ -24,19 +24,28 @@ def dp_measures():
 # ----------------------------------------------------------------------
 # Batched vs single-pair consistency (the core contract)
 # ----------------------------------------------------------------------
-def test_batched_matches_single(dp_measures, trips):
+def test_batched_matches_reference(dp_measures, trips):
+    """The wavefront kernel agrees with the plain-loop DP oracle."""
     query = trips[0]
     candidates = trips[1:15]
     for measure in dp_measures:
         batched = measure.distance_to_many(query, candidates)
-        single = np.array([measure.distance(query, c) for c in candidates])
+        single = np.array([measure.reference_distance(query, c)
+                           for c in candidates])
         np.testing.assert_allclose(batched, single, rtol=1e-5, atol=1e-6,
                                    err_msg=measure.name)
 
 
+def test_single_pair_delegates_to_batched_kernel(dp_measures, trips):
+    """`distance` rides the vectorized anti-diagonal kernel, not the loop."""
+    for measure in dp_measures:
+        batched = measure.distance_to_many(trips[0], [trips[1]])[0]
+        assert measure.distance(trips[0], trips[1]) == batched, measure.name
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 500), n=st.integers(3, 15), m=st.integers(3, 15))
-def test_batched_matches_single_property(seed, n, m):
+def test_batched_matches_reference_property(seed, n, m):
     rng = np.random.default_rng(seed)
     a = Trajectory(points=rng.uniform(0, 500, (n, 2)))
     b = Trajectory(points=rng.uniform(0, 500, (m, 2)))
@@ -44,7 +53,8 @@ def test_batched_matches_single_property(seed, n, m):
     for measure in [DTW(), EDR(80.0), LCSS(80.0), ERP(), EDwP()]:
         batched = measure.distance_to_many(a, [b, c])
         np.testing.assert_allclose(
-            batched, [measure.distance(a, b), measure.distance(a, c)],
+            batched,
+            [measure.reference_distance(a, b), measure.reference_distance(a, c)],
             rtol=1e-5, atol=1e-6, err_msg=measure.name)
 
 
@@ -214,3 +224,27 @@ def test_rank_of_is_one_based(trips):
     edr = EDR(100.0)
     db = [trips[0], trips[1]]
     assert edr.rank_of(trips[0], db, 0) == 1
+
+
+def test_knn_batch_matches_per_query(trips):
+    edr = EDR(100.0)
+    queries, db = trips[:6], trips[10:40]
+    rows = edr.knn_batch(queries, db, k=5)
+    assert rows.shape == (6, 5)
+    for i, query in enumerate(queries):
+        np.testing.assert_array_equal(rows[i], edr.knn(query, db, k=5))
+
+
+def test_knn_batch_k_larger_than_database(trips):
+    edr = EDR(100.0)
+    rows = edr.knn_batch(trips[:3], trips[10:14], k=50)
+    assert rows.shape == (3, 4)
+
+
+def test_rank_of_many_matches_per_query(trips):
+    edwp = EDwP()
+    queries, db = trips[:5], trips[10:30]
+    targets = [3, 0, 7, 1, 19]
+    batched = edwp.rank_of_many(queries, db, targets)
+    single = [edwp.rank_of(q, db, t) for q, t in zip(queries, targets)]
+    np.testing.assert_array_equal(batched, single)

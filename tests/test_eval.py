@@ -145,6 +145,44 @@ class TestKnnPrecision:
                                      mode="bogus")
 
 
+class TestBatchedDriverParity:
+    """The batched rewiring must not change any reported number."""
+
+    def test_mean_rank_matches_per_query_loop(self, trips, rng):
+        setup = build_setup(trips[:8], trips[20:60], num_queries=8, rng=rng)
+        for measure in (StartPointDistance(), EDR(100.0)):
+            expected = float(np.mean([
+                measure.rank_of(q, setup.database, int(t))
+                for q, t in zip(setup.queries, setup.target_indices)]))
+            assert mean_rank(measure, setup) == expected, measure.name
+
+    def test_ground_truth_knn_matches_per_query_loop(self, trips):
+        from repro.eval import ground_truth_knn
+        measure = EDR(100.0)
+        queries, db = trips[:5], trips[10:40]
+        batched = ground_truth_knn(measure, queries, db, k=4)
+        looped = [set(measure.knn(q, db, 4).tolist()) for q in queries]
+        assert batched == looped
+
+    def test_knn_precision_matches_per_query_loop(self, trips):
+        from repro.data.transforms import degrade
+        measure = EDR(100.0)
+        queries, db = trips[:5], trips[10:40]
+        k = 4
+        new = knn_precision(measure, queries, db, k, dropping_rate=0.4,
+                            rng=np.random.default_rng(11))
+        # Replicate the pre-batching driver: same degradation stream,
+        # then one measure.knn per degraded query.
+        rng = np.random.default_rng(11)
+        truth = [set(measure.knn(q, db, k).tolist()) for q in queries]
+        degraded_queries = [degrade(q, 0.4, 0.0, rng) for q in queries]
+        degraded_db = [degrade(t, 0.4, 0.0, rng) for t in db]
+        old = float(np.mean([
+            len(t & set(measure.knn(q, degraded_db, k).tolist())) / k
+            for q, t in zip(degraded_queries, truth)]))
+        assert new == old
+
+
 class TestScalability:
     def test_timings_positive_and_shaped(self, trips):
         results = experiment_scalability([StartPointDistance()], trips[:3],

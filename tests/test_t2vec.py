@@ -86,6 +86,58 @@ def test_rank_of_counterpart(fitted, trips):
     assert rank <= len(db) // 2  # trained model beats random placement
 
 
+def test_distance_matrix_matches_distance_to_many(fitted, trips):
+    """The blocked-GEMM matrix agrees with the per-query direct path."""
+    model, _ = fitted
+    queries, db = trips[:4], trips[10:30]
+    matrix = model.distance_matrix(queries, db)
+    assert matrix.shape == (4, 20)
+    for i, q in enumerate(queries):
+        np.testing.assert_allclose(matrix[i], model.distance_to_many(q, db),
+                                   rtol=1e-4, atol=1e-5)
+
+
+def test_knn_batch_matches_vector_truth(fitted, trips):
+    model, _ = fitted
+    queries, db = trips[:4], trips[10:40]
+    rows = model.knn_batch(queries, db, k=5)
+    assert rows.shape == (4, 5)
+    vq = model.encode_many(queries)
+    vc = model.encode_many(db)
+    for i in range(len(queries)):
+        truth = np.argsort(np.linalg.norm(vc - vq[i], axis=1),
+                           kind="stable")[:5]
+        np.testing.assert_array_equal(rows[i], truth)
+
+
+def test_knn_is_thin_wrapper_over_batch(fitted, trips):
+    model, _ = fitted
+    db = trips[10:40]
+    np.testing.assert_array_equal(model.knn(trips[0], db, k=7),
+                                  model.knn_batch([trips[0]], db, k=7)[0])
+
+
+def test_rank_of_many_matches_rank_of(fitted, trips):
+    model, _ = fitted
+    queries, db = trips[:5], trips[10:30]
+    targets = [2, 0, 11, 7, 19]
+    batched = model.rank_of_many(queries, db, targets)
+    single = [model.rank_of(q, db, t) for q, t in zip(queries, targets)]
+    np.testing.assert_array_equal(batched, single)
+
+
+def test_knn_batch_records_index_metrics(trips, fitted):
+    from repro.telemetry import MetricsRegistry, set_registry
+    model, _ = fitted
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        model.knn_batch(trips[:3], trips[10:20], k=2)
+    finally:
+        set_registry(previous)
+    assert registry.counter("index.exact.batch_queries").value == 3
+
+
 def test_reconstruct_route_outputs_coordinates(fitted, trips):
     model, _ = fitted
     route = model.reconstruct_route(trips[0], max_len=30)
