@@ -5,7 +5,6 @@ LCSS 150.67 < vRNN 163.10 < CMS 291.26; all methods degrade as the
 database grows.  Here the database sizes are scaled ~100x down.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import CMS, EDR, LCSS, EDwP

@@ -10,7 +10,6 @@ scored on most-similar search at dropping rates 0.4/0.5/0.6.
 """
 
 import numpy as np
-import pytest
 
 from repro.eval import build_setup, format_table, mean_rank
 

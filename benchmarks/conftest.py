@@ -17,7 +17,6 @@ import os
 import warnings
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro import LossSpec, MetricsRegistry, T2Vec, T2VecConfig, TrainingConfig

@@ -21,8 +21,9 @@ model), :mod:`repro.eval` (the paper's experiment harness), and
 
 from .core import (ExactIndex, LSHIndex, LossSpec, T2Vec, T2VecConfig,
                    TrainingConfig)
-from .data import (SyntheticCity, Trajectory, alternating_split, distort,
-                   downsample, harbin_like, porto_like)
+from .data import (SyntheticCity, TrainingDataPipeline, Trajectory,
+                   alternating_split, distort, downsample, harbin_like,
+                   porto_like)
 from .spatial import CellVocabulary, Grid, Projection
 from .telemetry import (Callback, MetricsRegistry, ProgressLogger, Span,
                         Timer, get_registry, set_registry)
@@ -45,6 +46,7 @@ __all__ = [
     "T2VecConfig",
     "Timer",
     "TrainingConfig",
+    "TrainingDataPipeline",
     "Trajectory",
     "alternating_split",
     "distort",

@@ -15,7 +15,7 @@ Subclasses must keep the two paths consistent; the test suite checks
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

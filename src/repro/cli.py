@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip cell-embedding pretraining (CL)")
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument("--num-workers", type=int, default=0,
+                       help="data-pipeline worker processes "
+                            "(0 = synthesize pairs in-process)")
+    train.add_argument("--bucket-batches", type=int, default=8,
+                       help="length-bucketing window of the data "
+                            "pipeline, in batches")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--progress", action="store_true",
                        help="print a per-epoch progress line to stderr")
@@ -124,7 +130,9 @@ def _cmd_train(args) -> int:
         loss=LossSpec(kind=args.loss),
         pretrain_cells=not args.no_pretrain,
         training=TrainingConfig(batch_size=args.batch_size,
-                                max_epochs=args.epochs),
+                                max_epochs=args.epochs,
+                                num_workers=args.num_workers,
+                                bucket_batches=args.bucket_batches),
         seed=args.seed,
     )
     model = T2Vec(config)

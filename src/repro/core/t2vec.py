@@ -34,9 +34,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..baselines.base import TrajectoryDistance
-from ..data.dataset import PairDataset, pad_batch, tokenize
-from ..data.pairs import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
-                          build_training_pairs)
+from ..data.dataset import pad_batch, tokenize
+from ..data.pairs import DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES
+from ..data.pipeline import TrainingDataPipeline
 from ..data.trajectory import Trajectory
 from ..nn.serialization import load_checkpoint, save_checkpoint
 from ..spatial.grid import Grid
@@ -199,15 +199,32 @@ class T2Vec(TrajectoryDistance):
 
     def _build_datasets(self, train: Sequence[Trajectory],
                         validation: Optional[Sequence[Trajectory]]):
+        """Training pipeline + materialized validation set.
+
+        Training streams through :class:`TrainingDataPipeline`
+        (``training.num_workers`` processes, length-bucketed batches,
+        background prefetch).  Validation is synthesized by the same
+        deterministic per-original seeding but materialized once — it is
+        evaluated every round, and the materialized
+        ``TokenPairDataset.batches`` path is the pipeline's exact-parity
+        reference.
+        """
         cfg = self.config
-        train_pairs = build_training_pairs(train, cfg.dropping_rates,
-                                           cfg.distorting_rates, self._rng)
-        train_ds = PairDataset(train_pairs, self.vocab)
+        train_seed = int(self._rng.integers(2 ** 31 - 1))
+        val_seed = int(self._rng.integers(2 ** 31 - 1))
+        train_ds = TrainingDataPipeline(
+            train, self.vocab, cfg.dropping_rates, cfg.distorting_rates,
+            seed=train_seed,
+            num_workers=cfg.training.num_workers,
+            bucket_batches=cfg.training.bucket_batches,
+            prefetch_batches=cfg.training.prefetch_batches,
+            registry=self.registry)
         val_ds = None
         if validation:
-            val_pairs = build_training_pairs(validation, cfg.dropping_rates,
-                                             cfg.distorting_rates, self._rng)
-            val_ds = PairDataset(val_pairs, self.vocab)
+            val_ds = TrainingDataPipeline(
+                validation, self.vocab, cfg.dropping_rates,
+                cfg.distorting_rates, seed=val_seed,
+                registry=self.registry).materialize()
         return train_ds, val_ds
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..data.dataset import Batch, TokenPairDataset
+from ..data.dataset import Batch, BatchSource
 from ..nn import Adam, clip_grad_norm
 from ..spatial.proximity import ProximityVocabulary
 from ..telemetry import (Callback, CallbackList, MetricsRegistry,
@@ -40,6 +40,9 @@ class TrainingConfig:
     clip_norm: float = 5.0         # max gradient norm (5)
     patience: int = 5              # validation rounds without improvement
     eval_batches: int = 20         # validation mini-batches per round
+    num_workers: int = 0           # data-pipeline worker processes
+    bucket_batches: int = 8        # length-bucketing window, in batches
+    prefetch_batches: int = 2      # batches kept ready by the prefetcher
     seed: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -75,7 +78,14 @@ _POSITIONAL_FIT_WARNED = False
 
 
 class Trainer:
-    """Fits an :class:`EncoderDecoder` on a :class:`TokenPairDataset`."""
+    """Fits an :class:`EncoderDecoder` on any :class:`BatchSource`.
+
+    The source may be a materialized
+    :class:`~repro.data.dataset.TokenPairDataset` (the reference path)
+    or a streaming :class:`~repro.data.pipeline.TrainingDataPipeline`
+    (parallel synthesis, length-bucketed batches, background prefetch);
+    both yield the same :class:`~repro.data.dataset.Batch` layout.
+    """
 
     def __init__(self, model: EncoderDecoder, vocab: ProximityVocabulary,
                  loss_spec: LossSpec = LossSpec(),
@@ -96,8 +106,8 @@ class Trainer:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def fit(self, train: TokenPairDataset, *legacy_args,
-            validation: Optional[TokenPairDataset] = None,
+    def fit(self, train: BatchSource, *legacy_args,
+            validation: Optional[BatchSource] = None,
             callbacks: Sequence[Callback] = (),
             registry: Optional[MetricsRegistry] = None) -> TrainingResult:
         """Train until ``max_epochs``, early stopping, or a callback's
@@ -208,7 +218,7 @@ class Trainer:
         self.optimizer.step()
         return loss.item()
 
-    def evaluate(self, dataset: TokenPairDataset,
+    def evaluate(self, dataset: BatchSource,
                  max_batches: Optional[int] = None) -> float:
         """Mean validation loss (no parameter updates, dropout off)."""
         self.model.eval()

@@ -6,11 +6,14 @@ real Porto CSV is provided for users who have the file.
 """
 
 from .archive import load_archive, save_archive
-from .dataset import Batch, PairDataset, TokenPairDataset, pad_batch, tokenize
+from .dataset import (Batch, BatchSource, PairDataset, TokenPairDataset,
+                      make_batch, pad_batch, tokenize)
 from .generator import (CityConfig, SyntheticCity, dataset_statistics,
                         harbin_like, porto_like)
 from .pairs import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
                     TrainingPair, build_training_pairs, iter_training_pairs)
+from .pipeline import (Prefetcher, TrainingDataPipeline, pair_rng,
+                       synthesize_token_pairs)
 from .porto import load_porto
 from .roadnet import RoadNetwork
 from .trajectory import Trajectory
@@ -19,14 +22,17 @@ from .transforms import (DISTORTION_RADIUS_M, alternating_split, degrade,
 
 __all__ = [
     "Batch",
+    "BatchSource",
     "CityConfig",
     "DEFAULT_DISTORTING_RATES",
     "DEFAULT_DROPPING_RATES",
     "DISTORTION_RADIUS_M",
     "PairDataset",
+    "Prefetcher",
     "RoadNetwork",
     "SyntheticCity",
     "TokenPairDataset",
+    "TrainingDataPipeline",
     "Trajectory",
     "TrainingPair",
     "alternating_split",
@@ -39,8 +45,11 @@ __all__ = [
     "iter_training_pairs",
     "load_archive",
     "load_porto",
+    "make_batch",
+    "pair_rng",
     "save_archive",
     "pad_batch",
     "porto_like",
+    "synthesize_token_pairs",
     "tokenize",
 ]

@@ -9,7 +9,7 @@ PAD, and the decoder side is framed as ``BOS + y`` → ``y + EOS``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +69,37 @@ class Batch:
         return self.src.shape[1]
 
 
+def make_batch(sources: Sequence[np.ndarray],
+               targets: Sequence[np.ndarray]) -> Batch:
+    """Assemble one :class:`Batch` from aligned token sequences.
+
+    Sources are padded as-is; targets are framed as ``BOS + y`` decoder
+    inputs and ``y + EOS`` decoder outputs (paper Figure 2).  Shared by
+    :class:`TokenPairDataset` and the streaming pipeline so both produce
+    bit-identical batches from the same token pairs.
+    """
+    src, src_mask = pad_batch(list(sources))
+    tgt_in, _ = pad_batch([np.concatenate([[BOS], t]) for t in targets])
+    tgt_out, tgt_mask = pad_batch([np.concatenate([t, [EOS]]) for t in targets])
+    return Batch(src=src, src_mask=src_mask,
+                 tgt_in=tgt_in, tgt_out=tgt_out, tgt_mask=tgt_mask)
+
+
+class BatchSource(Protocol):
+    """Anything :class:`~repro.core.trainer.Trainer` can draw batches from.
+
+    Implemented by :class:`TokenPairDataset` (materialized reference path)
+    and :class:`repro.data.pipeline.TrainingDataPipeline` (parallel
+    streaming path).
+    """
+
+    def __len__(self) -> int: ...
+
+    def batches(self, batch_size: int,
+                rng: Optional[np.random.Generator] = None,
+                shuffle: bool = True) -> Iterator[Batch]: ...
+
+
 class TokenPairDataset:
     """Generic tokenized (source, target) pairs with length-bucketed batching.
 
@@ -109,13 +140,8 @@ class TokenPairDataset:
             yield self._make_batch(chunk)
 
     def _make_batch(self, indices: np.ndarray) -> Batch:
-        src, src_mask = pad_batch([self.sources[i] for i in indices])
-        tgt_in_seqs = [np.concatenate([[BOS], self.targets[i]]) for i in indices]
-        tgt_out_seqs = [np.concatenate([self.targets[i], [EOS]]) for i in indices]
-        tgt_in, _ = pad_batch(tgt_in_seqs)
-        tgt_out, tgt_mask = pad_batch(tgt_out_seqs)
-        return Batch(src=src, src_mask=src_mask,
-                     tgt_in=tgt_in, tgt_out=tgt_out, tgt_mask=tgt_mask)
+        return make_batch([self.sources[i] for i in indices],
+                          [self.targets[i] for i in indices])
 
 
 class PairDataset(TokenPairDataset):

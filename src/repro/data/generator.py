@@ -23,7 +23,7 @@ paper's two cities with different geometry and trip statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

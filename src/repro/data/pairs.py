@@ -20,6 +20,25 @@ DEFAULT_DROPPING_RATES: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6)
 DEFAULT_DISTORTING_RATES: Tuple[float, ...] = (0.0, 0.2, 0.4, 0.6)
 
 
+def _defensive_source(source: Trajectory, original: Trajectory) -> Trajectory:
+    """A source that never aliases the original's point storage.
+
+    ``degrade`` returns its input unchanged for r1 = r2 = 0 (and when no
+    point happens to be selected), which would hand out the *same*
+    ``Trajectory`` as both source and target — downstream mutation of
+    ``source.points`` would silently corrupt the reconstruction target.
+    """
+    if source.points is not original.points:
+        return source
+    return Trajectory(
+        points=original.points.copy(),
+        timestamps=(None if original.timestamps is None
+                    else original.timestamps.copy()),
+        traj_id=original.traj_id,
+        route_id=original.route_id,
+    )
+
+
 @dataclass(frozen=True)
 class TrainingPair:
     """A (source, target) trajectory pair: degraded ``Ta`` → original ``Tb``."""
@@ -42,7 +61,8 @@ def build_training_pairs(
     for original in originals:
         for r1 in dropping_rates:
             for r2 in distorting_rates:
-                source = degrade(original, r1, r2, rng)
+                source = _defensive_source(degrade(original, r1, r2, rng),
+                                           original)
                 pairs.append(TrainingPair(source=source, target=original,
                                           dropping_rate=r1, distorting_rate=r2))
     return pairs
@@ -59,6 +79,7 @@ def iter_training_pairs(
     for original in originals:
         for r1 in dropping_rates:
             for r2 in distorting_rates:
-                yield TrainingPair(source=degrade(original, r1, r2, rng),
-                                   target=original,
+                source = _defensive_source(degrade(original, r1, r2, rng),
+                                           original)
+                yield TrainingPair(source=source, target=original,
                                    dropping_rate=r1, distorting_rate=r2)

@@ -15,7 +15,7 @@ overlap like real streets instead of being unique Manhattan staircases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 import numpy as np

@@ -8,7 +8,7 @@ lon/lat data is projected on ingestion (see :mod:`repro.data.porto`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

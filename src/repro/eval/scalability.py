@@ -11,7 +11,6 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..baselines.base import TrajectoryDistance
 from ..data.trajectory import Trajectory

@@ -9,7 +9,7 @@ matches the behaviour of production grid indexes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import CMS, DTW, EDR, ERP, LCSS, EDwP, suggest_epsilon
-from repro.data import Trajectory, alternating_split, downsample
+from repro.data import Trajectory, alternating_split
 
 
 def line(n, x0=0.0, y0=0.0, step=10.0, axis=0):

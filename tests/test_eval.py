@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import EDR
 from repro.baselines.base import TrajectoryDistance
-from repro.data import Trajectory
 from repro.eval import (build_setup, cross_distance_deviation,
                         experiment_cross_similarity, experiment_db_size,
                         experiment_downsampling, experiment_knn_precision,

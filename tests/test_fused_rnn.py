@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.encoder_decoder import EncoderDecoder, ModelConfig
-from repro.nn import GRU, LSTM, Tensor
+from repro.nn import GRU, Tensor
 from repro.nn.lstm import lstm_layer_forward
 from repro.nn.rnn import gru_layer_forward
 from repro.spatial.vocab import BOS, EOS

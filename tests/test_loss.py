@@ -5,7 +5,6 @@ import pytest
 
 from repro.nn import (Tensor, masked_sampled_loss, nll_loss,
                       sampled_weighted_loss, weighted_nll_loss)
-from repro.nn.functional import log_softmax
 
 from .test_tensor import check_gradients
 

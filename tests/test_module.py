@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import GRU, Dropout, Embedding, Linear, Module, Parameter
+from repro.nn import GRU, Embedding, Linear, Module, Parameter
 
 
 class ToyModel(Module):

@@ -1,7 +1,6 @@
 """Training pair synthesis: the 16-variant grid per original trajectory."""
 
 import numpy as np
-import pytest
 
 from repro.data import (DEFAULT_DISTORTING_RATES, DEFAULT_DROPPING_RATES,
                         build_training_pairs, iter_training_pairs)
@@ -46,6 +45,33 @@ def test_source_endpoints_preserved(trips, rng):
         if pair.distorting_rate == 0.0:  # distortion may move endpoints
             np.testing.assert_array_equal(pair.source.start, pair.target.start)
             np.testing.assert_array_equal(pair.source.end, pair.target.end)
+
+
+def test_clean_pair_source_does_not_alias_target(trips, rng):
+    """r1 = r2 = 0 leaves degrade a no-op; the pair must still hand out
+    an independent copy, or mutating the source corrupts the target."""
+    for make in (build_training_pairs,
+                 lambda *a, **kw: list(iter_training_pairs(*a, **kw))):
+        pairs = make(trips[:2], dropping_rates=(0.0,),
+                     distorting_rates=(0.0,), rng=rng)
+        for pair in pairs:
+            assert pair.source is not pair.target
+            assert pair.source.points is not pair.target.points
+            np.testing.assert_array_equal(pair.source.points,
+                                          pair.target.points)
+
+
+def test_defensive_copy_preserves_metadata(trips, rng):
+    pairs = build_training_pairs(trips[:1], dropping_rates=(0.0,),
+                                 distorting_rates=(0.0,), rng=rng)
+    source, target = pairs[0].source, pairs[0].target
+    assert source.traj_id == target.traj_id
+    assert source.route_id == target.route_id
+    if target.timestamps is None:
+        assert source.timestamps is None
+    else:
+        assert source.timestamps is not target.timestamps
+        np.testing.assert_array_equal(source.timestamps, target.timestamps)
 
 
 def test_iter_matches_build_count(trips):
